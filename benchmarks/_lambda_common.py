@@ -1,0 +1,23 @@
+"""Shared helpers for the λ time-series benchmarks (Figures 9-11).
+
+The experiment definitions themselves live in ``repro.bench.figures``
+(shared with the CLI); these are just small series-inspection utilities
+for the benchmarks' assertions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import LAMBDA_DURATION as DURATION  # noqa: F401
+from repro.bench.figures import MESSAGE_SIZE, STEP_SECONDS  # noqa: F401
+
+
+def latency_at(series: list[tuple[float, float]], t: float) -> float:
+    """Latency (ms) of the bucket at time t (0 when empty)."""
+    lookup = {round(bt): v for bt, v in series}
+    return lookup.get(round(t), 0.0)
+
+
+def max_latency_between(series: list[tuple[float, float]], start: float, end: float) -> float:
+    """Largest per-second latency (ms) within [start, end]."""
+    values = [v for t, v in series if start <= t <= end]
+    return max(values, default=0.0)

@@ -1,0 +1,29 @@
+"""Figure 10 — the effect of λ with one ring at twice the other's rate.
+
+Paper: with a 2:1 rate skew, an insufficient λ lets the fast ring's
+messages pile up in the learner's merge buffer until it overflows and the
+learner halts (λ = 1000 after the first step-up, λ = 5000 near the end of
+the run); a large enough λ (= 9000) handles the most extreme load.
+"""
+
+from _lambda_common import DURATION
+from repro.bench import emit
+from repro.bench.figures import figure10
+
+
+def test_fig10_lambda_skewed(benchmark):
+    results, table = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    emit("fig10_lambda_skewed", table)
+    lam1k, lam5k, lam9k = results[1000.0], results[5000.0], results[9000.0]
+
+    # lambda = 1000: overflows early (during the second step).
+    assert lam1k.extra["halted"]
+    assert lam1k.extra["halted_at"] < 0.75 * DURATION
+
+    # lambda = 5000: survives longer but overflows near the end.
+    assert lam5k.extra["halted"]
+    assert lam5k.extra["halted_at"] > lam1k.extra["halted_at"]
+
+    # lambda = 9000: handles the most extreme load in this experiment.
+    assert not lam9k.extra["halted"]
+    assert all(v < 5.0 for t, v in lam9k.latency_ms if t >= 2.0)

@@ -1,0 +1,34 @@
+"""Figure 11 — the effect of λ with oscillating, 2:1-skewed rates.
+
+Paper: when submission rates oscillate (same averages as Figure 10), the
+instantaneous rate exceeds λ during peaks even when the average does not,
+so a λ that handled constant rates no longer suffices: only λ = 12000 —
+skipping up to ~the full capacity of a ring per second — keeps the
+learner stable. λ = 5000 overflows; λ = 9000 suffers latency spikes at
+the peaks.
+"""
+
+from _lambda_common import DURATION, max_latency_between
+from repro.bench import emit
+from repro.bench.figures import figure11
+
+
+def test_fig11_lambda_oscillating(benchmark):
+    results, table = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    emit("fig11_lambda_oscillating", table)
+    lam5k, lam9k, lam12k = results[5000.0], results[9000.0], results[12000.0]
+
+    # lambda = 5000: the sustained rates exceed it -> overflow and halt.
+    assert lam5k.extra["halted"]
+
+    # lambda = 12000: above every instantaneous peak -> smooth throughout.
+    assert not lam12k.extra["halted"]
+    assert max_latency_between(lam12k.latency_ms, 4.0, DURATION) < 5.0
+
+    # lambda = 9000: survives on average but the oscillation peaks exceed
+    # it, so the final (highest) step shows latency excursions well above
+    # what lambda = 12000 exhibits.
+    assert not lam9k.extra["halted"]
+    spike_9k = max_latency_between(lam9k.latency_ms, 4 * 8.0, DURATION)
+    spike_12k = max_latency_between(lam12k.latency_ms, 4 * 8.0, DURATION)
+    assert spike_9k > 2 * spike_12k

@@ -1,0 +1,41 @@
+"""Figure 12 — the effect of a coordinator failure on a two-ring learner.
+
+Paper: two rings at ~constant equal rates; at t = 20 s the coordinator of
+ring 1 is stopped for 3 seconds, then restarted. The learner's delivery
+throughput drops to zero — ring 2 keeps arriving but the deterministic
+merge cannot proceed — and ring 2's incoming rate also sags because its
+un-acknowledged proposer throttles. On restart the new coordinator
+notices the missed intervals, proposes the whole backlog of skips in one
+execution, and the learner drains its buffer in a catch-up spike before
+returning to steady state.
+"""
+
+from repro.bench import emit
+from repro.bench.figures import figure12
+
+
+def test_fig12_coordinator_failure(benchmark):
+    res, table = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    emit("fig12_coordinator_failure", table)
+    delivered = dict((round(t), v) for t, v in res.delivered_mbps)
+    rx2 = dict((round(t), v) for t, v in res.multicast_mbps[1])
+    steady = sum(delivered[t] for t in range(10, 19)) / 9
+
+    # Steady state: both rings delivered, ~2 x 262 Mbps.
+    assert 450 <= steady <= 600
+
+    # During the outage the learner delivers (almost) nothing, although
+    # ring 2's traffic is still arriving at first.
+    outage = [delivered.get(t, 0.0) for t in (21, 22)]
+    assert all(v < 0.1 * steady for v in outage)
+    assert rx2.get(21, 0.0) > 0.5 * (steady / 2)
+
+    # Ring 2's incoming rate sags during the outage (throttled proposer).
+    assert min(rx2.get(t, 0.0) for t in (21, 22, 23)) < 0.5 * (steady / 2)
+
+    # Catch-up: right after the restart, the buffered backlog drains in a
+    # spike clearly above steady state, then the system returns to normal.
+    spike = max(delivered.get(t, 0.0) for t in (23, 24, 25))
+    assert spike > 1.5 * steady
+    tail = sum(delivered.get(t, 0.0) for t in range(28, 31)) / 3
+    assert 0.8 * steady <= tail <= 1.3 * steady

@@ -1,0 +1,23 @@
+"""Figure 2 — a partitioned dummy service over ONE Ring Paxos instance.
+
+Paper: with every partition's group ordered by a single Ring Paxos
+instance, overall service throughput stays flat (~700 Mbps) as partitions
+grow from 1 to 8 — the ordering layer, not request execution, is the
+bottleneck, so each partition gets a shrinking share. This is the
+motivating negative result that Multi-Ring Paxos fixes (Figure 5).
+"""
+
+from repro.bench import emit
+from repro.bench.figures import figure2
+
+
+def test_fig2_partitioned_single_ring(benchmark):
+    rows, table = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    emit("fig2_partitioned_single_ring", table)
+    totals = [r[1] for r in rows]
+    # Overall throughput is flat: no scaling with partitions.
+    assert max(totals) / min(totals) < 1.25
+    # It sits at the single ring's ~700 Mbps ceiling.
+    assert 550 <= totals[-1] <= 800
+    # Per-partition share shrinks roughly inversely with partition count.
+    assert rows[-1][2] < rows[0][2] / 4

@@ -1,0 +1,39 @@
+"""Figure 7 — the effect of Δ (the skip-check sampling interval).
+
+Two rings, one learner subscribed to both, equal average rates with
+bursty arrivals. Paper: larger Δ means slower skip corrections, so
+messages buffer longer at the learner and latency rises — most visibly
+at low load, and decreasing with throughput (fewer skips are needed);
+the maximum throughput is unaffected by Δ, and small Δ adds no
+measurable coordinator CPU.
+"""
+
+from repro.bench import emit
+from repro.bench.figures import figure7
+
+
+def test_fig7_delta(benchmark):
+    rows, table = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    emit("fig7_delta", table)
+    by = lambda d: [r for r in rows if r[0] == d]
+    d1, d10, d100 = by("1 ms"), by("10 ms"), by("100 ms")
+
+    # Larger Delta -> higher latency, most visible at low load where skip
+    # corrections are the only thing bridging the rings' idle gaps.
+    assert d100[0][3] > 2 * d1[0][3]
+    assert d10[0][3] > d1[0][3]
+    # Small Delta keeps latency low at every load level.
+    assert all(r[3] < 5.0 for r in d1)
+    # For large Delta, latency *decreases* with throughput (the paper's
+    # observation: fewer skip instances are needed), converging toward
+    # the small-Delta curves at high load.
+    assert d100[0][3] > d100[-1][3]
+
+    # Throughput keeps up with offered load regardless of Delta.
+    for series in (d1, d10, d100):
+        for row in series:
+            assert row[2] >= 0.9 * row[1]
+
+    # Small Delta costs no extra coordinator CPU (within a few percent).
+    for r1, r100 in zip(d1, d100):
+        assert abs(r1[4] - r100[4]) < 10.0

@@ -1,0 +1,30 @@
+"""Figure 8 — the effect of M (instances consumed per ring per visit).
+
+Two rings, one learner subscribed to both, equal smooth rates. Paper:
+while M instances of one ring are handled, the other ring's instances
+wait — so average latency grows with M; throughput and learner CPU are
+unaffected. Small M is the right choice.
+"""
+
+from repro.bench import emit
+from repro.bench.figures import figure8
+
+
+def test_fig8_m(benchmark):
+    rows, table = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    emit("fig8_m", table)
+    by = lambda m: [r for r in rows if r[0] == m]
+    m1, m10, m100 = by(1), by(10), by(100)
+
+    # Larger M -> higher latency (other rings' instances wait their turn).
+    for lo, hi in zip(m1, m100):
+        assert hi[3] > lo[3]
+
+    # Throughput keeps up with offered load regardless of M.
+    for series in (m1, m10, m100):
+        for row in series:
+            assert row[2] >= 0.9 * row[1]
+
+    # Learner CPU is essentially independent of M.
+    for lo, hi in zip(m1, m100):
+        assert abs(hi[4] - lo[4]) < 10.0

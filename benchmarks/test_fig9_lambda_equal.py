@@ -1,0 +1,34 @@
+"""Figure 9 — the effect of λ with equal, constant ring rates.
+
+Paper: even with both groups multicasting at the same rate, ring traffic
+drifts out of sync at the learner; with λ = 0 (no skips) the buffering
+grows and latency never recovers; λ = 1000 keeps latency stable until
+very high load; λ = 5000 solves the problem at every level.
+"""
+
+from _lambda_common import latency_at
+from repro.bench import emit
+from repro.bench.figures import figure9
+
+
+def test_fig9_lambda_equal(benchmark):
+    results, table = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    emit("fig9_lambda_equal", table)
+    lam0, lam1k, lam5k = results[0.0], results[1000.0], results[5000.0]
+
+    # lambda = 0: the rings drift out of sync even at the lowest rate and
+    # the learner never recovers — buffering (and latency) accumulates.
+    assert latency_at(lam0.latency_ms, 6.0) > 5 * latency_at(lam1k.latency_ms, 6.0)
+    assert latency_at(lam0.latency_ms, 38.0) > 5.0
+    assert lam0.extra["buffered_instances"] > 100
+
+    # lambda = 1000: stable at low rates (skips keep the rings aligned
+    # while their rate is below lambda), but once both rings run above
+    # lambda the problem reappears at very high load.
+    assert latency_at(lam1k.latency_ms, 6.0) < 3.0
+    assert latency_at(lam1k.latency_ms, 38.0) > 3 * latency_at(lam1k.latency_ms, 6.0)
+
+    # lambda = 5000: above every offered level -> stable everywhere.
+    assert all(v < 3.0 for t, v in lam5k.latency_ms if t >= 2.0)
+    assert not lam5k.extra["halted"]
+    assert lam5k.extra["buffered_instances"] < 100

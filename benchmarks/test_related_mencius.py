@@ -1,0 +1,28 @@
+"""Related work: Mencius vs Multi-Ring Paxos (paper, Section V).
+
+Not a figure in the paper, but the comparison its related-work section
+makes in prose: Mencius, "a multi-leader protocol derived from Paxos",
+also uses skip instances to absorb load imbalance — but it implements
+atomic *broadcast*, not groups, so every server receives all traffic and
+aggregate throughput caps around the link bandwidth, while Multi-Ring
+Paxos keeps scaling with rings.
+"""
+
+from repro.bench import emit
+from repro.bench.figures import related_mencius
+
+
+def test_related_mencius_vs_multiring(benchmark):
+    rows, table = benchmark.pedantic(related_mencius, rounds=1, iterations=1)
+    emit("related_mencius", table)
+    mencius = [r for r in rows if r[0] == "Mencius"]
+    mrp = [r for r in rows if r[0] == "RAM M-RP"]
+
+    # Mencius spreads leader load but caps around the ingress link: with n
+    # servers a receiver's link carries (n-1)/n of the traffic, so the
+    # ceiling is n/(n-1) Gbps — never much above 1 Gbps, and flat past 4.
+    assert all(r[2] < 1.5 for r in mencius)
+    assert mencius[-1][2] <= 1.2 * mencius[1][2]
+    # Multi-Ring Paxos scales linearly past any single link's bandwidth.
+    assert mrp[-1][2] > 4.0
+    assert mrp[-1][2] > 3 * max(r[2] for r in mencius)

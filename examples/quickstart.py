@@ -1,0 +1,44 @@
+"""Quickstart: atomic multicast with Multi-Ring Paxos in ~30 lines.
+
+Two groups, one learner per group plus one learner subscribed to both,
+and a proposer multicasting to each. Demonstrates the core guarantee:
+learners that deliver messages in common deliver them in the same
+relative order (uniform partial order), without any global sequencer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MultiRingConfig, MultiRingPaxos
+
+
+def main() -> None:
+    # Two groups, each ordered by its own Ring Paxos instance; the skip
+    # mechanism keeps both rings producing 2000 instances/s so learners
+    # subscribed to both groups never stall on an idle ring.
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2, lambda_rate=2000.0))
+
+    logs: dict[str, list[str]] = {"g0-only": [], "g1-only": [], "both": []}
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: logs["g0-only"].append(v.payload))
+    mrp.add_learner(groups=[1], on_deliver=lambda g, v: logs["g1-only"].append(v.payload))
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: logs["both"].append(v.payload))
+
+    proposer = mrp.add_proposer()
+    for i in range(10):
+        group = i % 2
+        proposer.multicast(group, payload=f"msg-{i}->g{group}", size=8192)
+
+    mrp.run(until=1.0)
+
+    for name, log in logs.items():
+        print(f"{name:8s} delivered {len(log):2d}: {log}")
+
+    both = logs["both"]
+    g0 = [m for m in both if m.endswith("g0")]
+    g1 = [m for m in both if m.endswith("g1")]
+    assert g0 == logs["g0-only"], "uniform partial order violated for g0"
+    assert g1 == logs["g1-only"], "uniform partial order violated for g1"
+    print("\nuniform partial order holds: per-group orders agree across learners")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so the
+PEP 660 editable-install path cannot build. Keeping this file (and omitting
+``[build-system]`` from pyproject.toml) lets ``pip install -e .`` use the
+legacy ``setup.py develop`` route with bare setuptools. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — a full reproduction of Multi-Ring Paxos (DSN 2012).
+
+Multi-Ring Paxos is an atomic multicast protocol that scales throughput
+with the number of nodes by composing independent Ring Paxos instances.
+This package implements the complete system from scratch on a
+deterministic discrete-event substrate:
+
+* ``repro.sim`` — the simulated cluster (clock, CPUs, disks, switched
+  network with IP multicast);
+* ``repro.paxos`` — classic Paxos;
+* ``repro.ringpaxos`` — Ring Paxos atomic broadcast (In-memory and
+  Recoverable);
+* ``repro.core`` — Multi-Ring Paxos itself (groups, skip mechanism,
+  deterministic merge);
+* ``repro.baselines`` — LCR and a Spread-like token protocol, the paper's
+  comparison points;
+* ``repro.smr`` — partitioned state-machine replication on top of the
+  multicast layer;
+* ``repro.workload`` / ``repro.bench`` — load generation and the harness
+  that regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import MultiRingConfig, MultiRingPaxos
+
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2))
+    learner = mrp.add_learner(groups=[0, 1],
+                              on_deliver=lambda g, v: print(g, v.payload))
+    proposer = mrp.add_proposer()
+    proposer.multicast(0, payload="hello", size=8192)
+    mrp.run(until=1.0)
+"""
+
+from .calibration import bytes_per_s_to_mbps, mbps_to_bytes_per_s
+from .core import (
+    DeterministicMerge,
+    GroupRegistry,
+    MultiRingConfig,
+    MultiRingLearner,
+    MultiRingPaxos,
+    MultiRingProposer,
+    SkipManager,
+)
+from .errors import (
+    BufferOverflowError,
+    ConfigurationError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .sim import Network, Node, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferOverflowError",
+    "ConfigurationError",
+    "DeterministicMerge",
+    "GroupRegistry",
+    "MultiRingConfig",
+    "MultiRingLearner",
+    "MultiRingPaxos",
+    "MultiRingProposer",
+    "Network",
+    "NetworkError",
+    "Node",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "Simulator",
+    "SkipManager",
+    "bytes_per_s_to_mbps",
+    "mbps_to_bytes_per_s",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baseline group-communication systems the paper compares against.
+
+* :mod:`repro.baselines.lcr` — LCR, a throughput-optimal ring-based
+  atomic broadcast (no groups abstraction).
+* :mod:`repro.baselines.spread` — a Spread-like daemon architecture with
+  a Totem-style token protocol (groups, but no scaling).
+* :mod:`repro.baselines.mencius` — Mencius, the multi-leader Paxos
+  derivative with skip instances discussed in the paper's Section V.
+
+Plain Ring Paxos — the third comparison point in Figure 5 — lives in
+:mod:`repro.ringpaxos`.
+"""
+
+from .lcr import LCR_MESSAGE_SIZE, LcrMessage, LcrNode, build_lcr_ring
+from .mencius import MenciusServer, MenciusValue, build_mencius
+from .spread import (
+    SPREAD_MESSAGE_SIZE,
+    SpreadClient,
+    SpreadDaemon,
+    SpreadMessage,
+    build_spread,
+)
+
+__all__ = [
+    "LCR_MESSAGE_SIZE",
+    "LcrMessage",
+    "LcrNode",
+    "MenciusServer",
+    "MenciusValue",
+    "SPREAD_MESSAGE_SIZE",
+    "SpreadClient",
+    "SpreadDaemon",
+    "SpreadMessage",
+    "build_mencius",
+    "build_spread",
+    "build_lcr_ring",
+]

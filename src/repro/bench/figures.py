@@ -1,0 +1,303 @@
+"""One callable per paper figure: runs the experiment, returns the rows.
+
+The pytest benchmarks under ``benchmarks/`` call these and assert the
+paper's qualitative claims; the CLI (``python -m repro``) calls them
+directly. Each returns ``(rows, table_text)`` and the caller decides what
+to do with them (print, persist, assert).
+"""
+
+from __future__ import annotations
+
+from ..workload.rates import ModulatedRate, ScaledRate, StepRate
+from .plots import ascii_multi_series
+from .report import format_table, series_to_rows
+from .runner import (
+    run_coordinator_failure_timeseries,
+    run_lcr_point,
+    run_mencius_point,
+    run_multiring_point,
+    run_partitioned_single_ring_point,
+    run_single_ring_point,
+    run_spread_point,
+    run_two_ring_parameter_point,
+    run_two_ring_timeseries,
+)
+
+__all__ = ["FIGURES", "run_figure"]
+
+# ---------------------------------------------------------------------------
+# Shared λ-experiment scaffolding (compressed timeline, see EXPERIMENTS.md)
+# ---------------------------------------------------------------------------
+STEP_SECONDS = 8.0
+LAMBDA_DURATION = 5 * STEP_SECONDS
+MESSAGE_SIZE = 8 * 1024
+
+
+def _msgs(mbps: float) -> float:
+    return mbps * 1e6 / 8.0 / MESSAGE_SIZE
+
+
+def _stepped(levels: list[float]) -> StepRate:
+    return StepRate([(i * STEP_SECONDS, _msgs(v)) for i, v in enumerate(levels)])
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+def figure1():
+    """In-memory vs Recoverable Ring Paxos (latency vs throughput)."""
+    rows = []
+    for durable, offered_list in (
+        (False, [100, 300, 500, 650, 700, 750]),
+        (True, [100, 200, 300, 380, 420, 500]),
+    ):
+        for offered in offered_list:
+            r = run_single_ring_point(offered, durable=durable)
+            rows.append(
+                (r.label, offered, r.delivered_mbps, r.latency_ms, r.cpu_pct,
+                 r.extra["disk_util_pct"])
+            )
+    table = format_table(
+        "Figure 1: latency vs delivery throughput per server (single Ring Paxos)",
+        ["mode", "offered Mbps", "delivered Mbps", "latency ms", "coord CPU %", "disk %"],
+        rows,
+    )
+    return rows, table
+
+
+def figure2():
+    """Partitioned dummy service over one Ring Paxos instance."""
+    rows = []
+    for n in (1, 2, 4, 8):
+        r = run_partitioned_single_ring_point(n)
+        rows.append((n, r.delivered_mbps, r.extra["per_partition_mbps"], r.cpu_pct))
+    table = format_table(
+        "Figure 2: overall throughput of a partitioned service on one Ring Paxos",
+        ["partitions", "overall Mbps", "per-partition Mbps", "coord CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+def figure5():
+    """Scalability: M-RP (RAM/DISK) vs Spread, Ring Paxos, LCR."""
+    rows = []
+    for n in (1, 2, 4, 8):
+        r = run_multiring_point(n, durable=False)
+        rows.append(("RAM M-RP", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+    for n in (1, 2, 4, 8):
+        r = run_multiring_point(n, durable=True)
+        rows.append(("DISK M-RP", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+    for n in (1, 2, 4, 8):
+        r = run_partitioned_single_ring_point(n)
+        rows.append(("Ring Paxos", n, r.delivered_mbps / 1e3, 0.0, r.latency_ms, r.cpu_pct))
+    for n in (1, 2, 4, 8):
+        r = run_spread_point(n)
+        rows.append(("Spread", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+    for n in (2, 4, 8, 16):
+        r = run_lcr_point(n)
+        rows.append(("LCR", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+    table = format_table(
+        "Figure 5: scalability, one group per learner",
+        ["system", "partitions/nodes", "Gbps", "msg/s", "latency ms", "max CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+def figure6():
+    """Every learner subscribes to all groups (ingress-bound)."""
+    rows = []
+    for durable in (False, True):
+        for n in (1, 2, 4, 8):
+            r = run_multiring_point(n, durable=durable, subscribe_all=True)
+            rows.append(
+                ("DISK M-RP" if durable else "RAM M-RP", n, r.delivered_mbps,
+                 r.msgs_per_s, r.latency_ms, r.extra["learner_ingress_pct"],
+                 r.extra["learner_cpu_pct"])
+            )
+    table = format_table(
+        "Figure 6: every learner subscribes to all groups",
+        ["system", "rings", "Mbps", "msg/s", "latency ms", "ingress %", "learner CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+def figure7():
+    """The effect of Delta."""
+    rows = []
+    for delta in (1e-3, 10e-3, 100e-3):
+        for offered in (50, 200, 400, 800):
+            r = run_two_ring_parameter_point(offered, delta=delta, burst=8)
+            rows.append((f"{delta * 1e3:g} ms", offered, r.delivered_mbps, r.latency_ms, r.cpu_pct))
+    table = format_table(
+        "Figure 7: the effect of Delta (2 rings, learner on both)",
+        ["Delta", "offered Mbps", "delivered Mbps", "latency ms", "coord CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+def figure8():
+    """The effect of M."""
+    rows = []
+    for m in (1, 10, 100):
+        for offered in (200, 400, 600, 800):
+            r = run_two_ring_parameter_point(offered, m=m, burst=1, jitter=0.0)
+            rows.append((m, offered, r.delivered_mbps, r.latency_ms, r.extra["learner_cpu_pct"]))
+    table = format_table(
+        "Figure 8: the effect of M (2 rings, learner on both)",
+        ["M", "offered Mbps", "delivered Mbps", "latency ms", "learner CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+def _lambda_series_rows(results):
+    rows = []
+    for lam, res in results.items():
+        state = "halted" if res.extra["halted"] else "ok"
+        rows.append((f"{lam:g}", state, "", ""))
+        for t, v in series_to_rows(res.latency_ms, every=4):
+            rows.append((f"{lam:g}", f"t={t:g}s", f"lat={v:.2f}ms", ""))
+    return rows
+
+
+def _lambda_latency_plot(results) -> str:
+    return ascii_multi_series(
+        {f"lambda={lam:g} lat(ms)": res.latency_ms for lam, res in results.items()},
+        title="latency over time (sparklines, max-pooled)",
+    )
+
+
+def figure9():
+    """Lambda with equal constant rates."""
+    levels = [25, 75, 150, 225, 310]
+    results = {
+        lam: run_two_ring_timeseries(
+            (_stepped(levels), _stepped(levels)), lambda_rate=lam,
+            duration=LAMBDA_DURATION, message_size=MESSAGE_SIZE,
+        )
+        for lam in (0.0, 1000.0, 5000.0)
+    }
+    rows = _lambda_series_rows(results)
+    table = format_table(
+        "Figure 9: lambda with equal constant rates (stepped every 8 s)",
+        ["lambda", "state/t", "latency", ""],
+        rows,
+    )
+    table += "\n\n" + _lambda_latency_plot(results)
+    return results, table
+
+
+def figure10():
+    """Lambda with 2:1 skewed constant rates."""
+    levels = [50, 150, 300, 450, 520]
+    results = {
+        lam: run_two_ring_timeseries(
+            (_stepped(levels), ScaledRate(_stepped(levels), 0.5)), lambda_rate=lam,
+            duration=LAMBDA_DURATION, message_size=MESSAGE_SIZE, buffer_limit=15_000,
+        )
+        for lam in (1000.0, 5000.0, 9000.0)
+    }
+    rows = _lambda_series_rows(results)
+    table = format_table(
+        "Figure 10: lambda with 2:1 skewed constant rates",
+        ["lambda", "state/t", "latency", ""],
+        rows,
+    )
+    table += "\n\n" + _lambda_latency_plot(results)
+    return results, table
+
+
+def figure11():
+    """Lambda with oscillating 2:1 rates."""
+    levels = [50, 130, 260, 330, 390]
+    results = {}
+    for lam in (5000.0, 9000.0, 12000.0):
+        fast = ModulatedRate(_stepped(levels), amplitude=0.6, period=8.0)
+        slow = ModulatedRate(ScaledRate(_stepped(levels), 0.5), amplitude=0.6, period=8.0)
+        results[lam] = run_two_ring_timeseries(
+            (fast, slow), lambda_rate=lam, duration=LAMBDA_DURATION,
+            message_size=MESSAGE_SIZE, buffer_limit=15_000,
+        )
+    rows = _lambda_series_rows(results)
+    table = format_table(
+        "Figure 11: lambda with oscillating 2:1 rates",
+        ["lambda", "state/t", "latency", ""],
+        rows,
+    )
+    table += "\n\n" + _lambda_latency_plot(results)
+    return results, table
+
+
+def figure12():
+    """Coordinator failure at t=20 s, restart 3 s later."""
+    res = run_coordinator_failure_timeseries(
+        rate_msgs_per_s=4000.0, fail_at=20.0, restart_after=3.0, duration=32.0
+    )
+    delivered = dict((round(t), v) for t, v in res.delivered_mbps)
+    rx1 = dict((round(t), v) for t, v in res.multicast_mbps[0])
+    rx2 = dict((round(t), v) for t, v in res.multicast_mbps[1])
+    rows = [
+        (t, f"{rx1.get(t, 0):.0f}", f"{rx2.get(t, 0):.0f}", f"{delivered.get(t, 0):.0f}")
+        for t in range(32)
+    ]
+    table = format_table(
+        "Figure 12: coordinator of ring 1 fails at t=20s, restarts at t=23s",
+        ["t (s)", "ring1 recv Mbps", "ring2 recv Mbps", "delivered Mbps"],
+        rows,
+    )
+    table += "\n\n" + ascii_multi_series(
+        {
+            "ring1 recv Mbps": res.multicast_mbps[0],
+            "ring2 recv Mbps": res.multicast_mbps[1],
+            "delivered Mbps ": res.delivered_mbps,
+        },
+        title="throughput over time (sparklines)",
+    )
+    return res, table
+
+
+def related_mencius():
+    """Related work: Mencius vs Multi-Ring Paxos (Section V)."""
+    rows = []
+    for n in (2, 4, 8):
+        r = run_mencius_point(n)
+        rows.append(("Mencius", n, r.delivered_mbps / 1e3, r.latency_ms, r.cpu_pct))
+    for n in (2, 4, 8):
+        r = run_multiring_point(n, durable=False)
+        rows.append(("RAM M-RP", n, r.delivered_mbps / 1e3, r.latency_ms, r.cpu_pct))
+    table = format_table(
+        "Related work: Mencius vs Multi-Ring Paxos",
+        ["system", "servers/rings", "Gbps", "latency ms", "max CPU %"],
+        rows,
+    )
+    return rows, table
+
+
+FIGURES = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "mencius": related_mencius,
+}
+
+
+def run_figure(name: str):
+    """Run one named figure; returns (data, table_text)."""
+    try:
+        fn = FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; available: {', '.join(sorted(FIGURES))}"
+        ) from None
+    return fn()

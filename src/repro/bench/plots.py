@@ -1,0 +1,94 @@
+"""Plain-text plotting for benchmark reports.
+
+The paper's Figures 9-12 are time-series plots; rendering them as ASCII
+charts in the benchmark output makes the shapes (rate steps, latency
+climbs, outage gaps, catch-up spikes) reviewable without a plotting
+stack. Pure text, deterministic, no dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_series", "ascii_multi_series", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """One-line intensity strip of a value series.
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    ' -+@'
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by max-pooling so spikes stay visible.
+        bucket = len(values) / width
+        pooled = []
+        for i in range(width):
+            lo = int(i * bucket)
+            hi = max(lo + 1, int((i + 1) * bucket))
+            pooled.append(max(values[lo:hi]))
+        values = pooled
+    top = max(values)
+    if top <= 0:
+        return " " * len(values)
+    chars = []
+    for v in values:
+        idx = int(round(v / top * (len(_SPARK_LEVELS) - 1)))
+        chars.append(_SPARK_LEVELS[max(0, min(idx, len(_SPARK_LEVELS) - 1))])
+    return "".join(chars)
+
+
+def ascii_series(
+    series: list[tuple[float, float]],
+    title: str = "",
+    height: int = 10,
+    width: int = 64,
+    unit: str = "",
+) -> str:
+    """Render one (t, value) series as a fixed-size ASCII chart."""
+    if not series:
+        return f"{title}\n(no data)"
+    times = [t for t, _ in series]
+    values = [v for _, v in series]
+    top = max(values)
+    lines = [title] if title else []
+    if top <= 0:
+        lines.append("(all zero)")
+        return "\n".join(lines)
+    # Downsample/interpolate columns over the time span.
+    cols = []
+    t0, t1 = times[0], times[-1] if times[-1] > times[0] else times[0] + 1
+    for c in range(width):
+        target = t0 + (t1 - t0) * c / (width - 1 if width > 1 else 1)
+        nearest = min(range(len(times)), key=lambda i: abs(times[i] - target))
+        cols.append(values[nearest])
+    for row in range(height, 0, -1):
+        threshold = top * (row - 0.5) / height
+        body = "".join("#" if v >= threshold else " " for v in cols)
+        label = f"{top * row / height:10.1f}{unit} |" if row in (height, 1) else " " * (11 + len(unit)) + "|"
+        lines.append(label + body)
+    lines.append(" " * (11 + len(unit)) + "+" + "-" * width)
+    lines.append(
+        " " * (12 + len(unit))
+        + f"t={t0:g}s"
+        + " " * max(1, width - len(f"t={t0:g}s") - len(f"t={t1:g}s"))
+        + f"t={t1:g}s"
+    )
+    return "\n".join(lines)
+
+
+def ascii_multi_series(
+    named_series: dict[str, list[tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Render several series as aligned sparklines with shared labels."""
+    lines = [title] if title else []
+    label_width = max((len(name) for name in named_series), default=0)
+    for name, series in named_series.items():
+        values = [v for _, v in series]
+        peak = max(values, default=0.0)
+        lines.append(f"{name.ljust(label_width)} |{sparkline(values, width)}| peak {peak:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,595 @@
+"""Experiment runners: one measurement primitive per experiment family.
+
+Every figure in the paper's evaluation reduces to one of a handful of
+measurement shapes:
+
+* a steady-state *point*: drive a deployment at a fixed offered load (or
+  closed-loop at capacity), measure delivered throughput, latency and the
+  most-loaded node's CPU over a window after warm-up;
+* a *time series*: drive rate schedules and sample per-second multicast
+  rate, delivery rate and latency (the λ and failure experiments).
+
+All runners build a fresh simulator per point, so points are independent
+and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..baselines.lcr import LCR_MESSAGE_SIZE, build_lcr_ring
+from ..baselines.mencius import build_mencius
+from ..baselines.spread import SPREAD_MESSAGE_SIZE, build_spread
+from ..calibration import DEFAULT_VALUE_SIZE, bytes_per_s_to_mbps, mbps_to_bytes_per_s
+from ..core.config import MultiRingConfig
+from ..core.deployment import MultiRingPaxos
+from ..ringpaxos.builder import build_ring
+from ..sim.network import Network
+from ..sim.simulator import Simulator
+from ..workload.generator import ClosedLoopGenerator, OpenLoopGenerator, ThrottledGenerator
+from ..workload.rates import ConstantRate, RateSchedule, ScaledRate
+
+__all__ = [
+    "PointResult",
+    "SeriesResult",
+    "run_single_ring_point",
+    "run_multiring_point",
+    "run_partitioned_single_ring_point",
+    "run_lcr_point",
+    "run_mencius_point",
+    "run_spread_point",
+    "run_two_ring_parameter_point",
+    "run_two_ring_timeseries",
+    "run_coordinator_failure_timeseries",
+]
+
+
+@dataclass(slots=True)
+class PointResult:
+    """One steady-state measurement."""
+
+    label: str
+    offered_mbps: float
+    delivered_mbps: float
+    msgs_per_s: float
+    latency_ms: float
+    cpu_pct: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SeriesResult:
+    """Time-series measurement: lists of (t, value) points."""
+
+    label: str
+    multicast_mbps: dict[int, list[tuple[float, float]]]
+    delivered_mbps: list[tuple[float, float]]
+    latency_ms: list[tuple[float, float]]
+    extra: dict = field(default_factory=dict)
+
+
+def _rate_to_msgs(offered_mbps: float, message_size: int) -> float:
+    return mbps_to_bytes_per_s(offered_mbps) / message_size
+
+
+def _window(counter_probe: Callable[[], float], sim: Simulator, start: float) -> Callable[[], float]:
+    """Snapshot ``counter_probe`` at ``start``; later call returns the delta."""
+    snap = {"value": 0.0}
+    sim.at(start, lambda: snap.__setitem__("value", counter_probe()))
+    return lambda: counter_probe() - snap["value"]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — single Ring Paxos, In-memory vs Recoverable
+# ---------------------------------------------------------------------------
+def run_single_ring_point(
+    offered_mbps: float,
+    durable: bool,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    seed: int = 1,
+) -> PointResult:
+    """Open-loop load on one ring; the Figure 1 latency-throughput curve."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    ring = build_ring(sim, net, durable=durable)
+    prop = ring.proposers[0]
+    learner = ring.learners[0]
+    rate = _rate_to_msgs(offered_mbps, message_size)
+    OpenLoopGenerator(sim, lambda: prop.multicast(None, message_size), ConstantRate(rate)).start()
+    end = warmup + duration
+    delivered = _window(lambda: learner.delivered_bytes.value, sim, warmup)
+    messages = _window(lambda: learner.delivered_messages.value, sim, warmup)
+    sim.run(until=end)
+    coord_node = ring.coordinator.node
+    cpu = coord_node.cpu.busy_between(warmup, end) / duration
+    return PointResult(
+        label=f"{'Recoverable' if durable else 'In-memory'} Ring Paxos",
+        offered_mbps=offered_mbps,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=messages() / duration,
+        latency_ms=learner.latency.trimmed_mean() * 1e3,
+        cpu_pct=100.0 * cpu,
+        extra={
+            "disk_util_pct": 100.0
+            * (coord_node.disk.busy_between(warmup, end) / duration if coord_node.disk else 0.0)
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 6 — Multi-Ring Paxos scalability
+# ---------------------------------------------------------------------------
+def run_multiring_point(
+    n_rings: int,
+    durable: bool,
+    subscribe_all: bool = False,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    window: int = 48,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    lambda_rate: float = 9000.0,
+    delta: float = 1e-3,
+    m: int = 1,
+    seed: int = 1,
+) -> PointResult:
+    """Closed-loop capacity measurement of an n-ring deployment.
+
+    ``subscribe_all=False``: one learner per group, each subscribing only
+    its group (Figure 5 — aggregate throughput scales with rings).
+    ``subscribe_all=True``: a single learner subscribed to every group
+    (Figure 6 — capped by the learner's ingress link).
+    """
+    mrp = MultiRingPaxos(
+        MultiRingConfig(
+            n_groups=n_rings,
+            durable=durable,
+            lambda_rate=lambda_rate,
+            delta=delta,
+            m=m,
+            seed=seed,
+        )
+    )
+    sim = mrp.sim
+    learners = []
+    if subscribe_all:
+        learners.append(mrp.add_learner(groups=list(range(n_rings))))
+    else:
+        for g in range(n_rings):
+            learners.append(mrp.add_learner(groups=[g]))
+    gens: dict[tuple[str, int], ClosedLoopGenerator] = {}
+    for g in range(n_rings):
+        prop = mrp.add_proposer()
+        gen = ClosedLoopGenerator(
+            sim,
+            (lambda p=prop, g=g: p.multicast(g, None, message_size)),
+            window=window,
+        )
+        gens[(prop.node.name, g)] = gen
+        gen.start()
+
+    def completion_hook(group: int, value) -> None:
+        gen = gens.get((value.sender, group))
+        if gen is not None:
+            gen.notify(value.seq)
+
+    # Exactly one learner notifies each generator (the one for its group).
+    if subscribe_all:
+        learners[0].on_deliver = completion_hook
+    else:
+        for learner in learners:
+            learner.on_deliver = completion_hook
+
+    end = warmup + duration
+    delivered = _window(lambda: sum(l.delivered_bytes.value for l in learners), sim, warmup)
+    messages = _window(lambda: sum(l.delivered_messages.value for l in learners), sim, warmup)
+    sim.run(until=end)
+    cpu = max(
+        handle.coordinator.node.cpu.busy_between(warmup, end) / duration
+        for handle in mrp.rings.values()
+    )
+    learner_cpu = max(l.node.cpu.busy_between(warmup, end) / duration for l in learners)
+    latencies = [l.latency.trimmed_mean() for l in learners if l.latency.count]
+    mode = "DISK M-RP" if durable else "RAM M-RP"
+    return PointResult(
+        label=f"{mode} x{n_rings}" + (" (all-groups learner)" if subscribe_all else ""),
+        offered_mbps=0.0,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=messages() / duration,
+        latency_ms=(sum(latencies) / len(latencies) * 1e3 if latencies else 0.0),
+        cpu_pct=100.0 * max(cpu, learner_cpu),
+        extra={
+            "coordinator_cpu_pct": 100.0 * cpu,
+            "learner_cpu_pct": 100.0 * learner_cpu,
+            "learner_ingress_pct": 100.0
+            * max(
+                mrp.network.nic(l.node.name).ingress.busy_between(warmup, end) / duration
+                for l in learners
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — partitioned dummy service over ONE Ring Paxos instance
+# ---------------------------------------------------------------------------
+def run_partitioned_single_ring_point(
+    n_partitions: int,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    window: int = 48,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    seed: int = 1,
+) -> PointResult:
+    """All partitions' groups mapped onto a single ring (γ > δ, δ = 1).
+
+    Replicas discard messages instantly (the dummy service), so throughput
+    is purely what the one ring can order — flat in the partition count.
+    """
+    mrp = MultiRingPaxos(
+        MultiRingConfig(n_groups=n_partitions, n_rings=1, lambda_rate=0.0, seed=seed)
+    )
+    sim = mrp.sim
+    learners = [mrp.add_learner(groups=[g]) for g in range(n_partitions)]
+    gens: dict[tuple[str, int], ClosedLoopGenerator] = {}
+    for g in range(n_partitions):
+        prop = mrp.add_proposer()
+        gen = ClosedLoopGenerator(
+            sim, (lambda p=prop, g=g: p.multicast(g, None, message_size)), window=window
+        )
+        gens[(prop.node.name, g)] = gen
+        gen.start()
+
+    def hook(group: int, value) -> None:
+        gen = gens.get((value.sender, group))
+        if gen is not None:
+            gen.notify(value.seq)
+
+    for learner in learners:
+        learner.on_deliver = hook
+    end = warmup + duration
+    delivered = _window(lambda: sum(l.delivered_bytes.value for l in learners), sim, warmup)
+    sim.run(until=end)
+    return PointResult(
+        label=f"partitioned x{n_partitions} (1 ring)",
+        offered_mbps=0.0,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=0.0,
+        latency_ms=0.0,
+        cpu_pct=100.0 * mrp.coordinator_cpu(0, window=duration),
+        extra={
+            "per_partition_mbps": bytes_per_s_to_mbps(delivered() / duration) / n_partitions
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 baselines — LCR and Spread
+# ---------------------------------------------------------------------------
+def run_lcr_point(
+    n_nodes: int,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    window: int = 16,
+    message_size: int = LCR_MESSAGE_SIZE,
+    seed: int = 1,
+) -> PointResult:
+    """Closed-loop LCR: every node broadcasts; throughput is per-node
+    delivery rate (every node delivers every message)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = build_lcr_ring(sim, net, n_nodes)
+    gens = []
+    for node in nodes:
+        gen = ClosedLoopGenerator(
+            sim, (lambda n=node: n.broadcast(None, message_size)), window=window
+        )
+        gens.append(gen)
+    # Completion: a broadcaster's own delivery of its message.
+    by_name = {node.node.name: gen for node, gen in zip(nodes, gens)}
+    for node in nodes:
+        node.on_deliver = (
+            lambda msg, me=node.node.name: by_name[msg.origin].notify(msg.seq)
+            if msg.origin == me
+            else None
+        )
+    for gen in gens:
+        gen.start()
+    observer = nodes[0]
+    end = warmup + duration
+    delivered = _window(lambda: observer.delivered_bytes.value, sim, warmup)
+    messages = _window(lambda: observer.delivered.value, sim, warmup)
+    sim.run(until=end)
+    cpu = max(n.node.cpu.busy_between(warmup, end) / duration for n in nodes)
+    return PointResult(
+        label=f"LCR x{n_nodes}",
+        offered_mbps=0.0,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=messages() / duration,
+        latency_ms=observer.latency.trimmed_mean() * 1e3,
+        cpu_pct=100.0 * cpu,
+    )
+
+
+def run_spread_point(
+    n_daemons: int,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    window: int = 16,
+    message_size: int = SPREAD_MESSAGE_SIZE,
+    seed: int = 1,
+) -> PointResult:
+    """Closed-loop Spread-like system: one client/group per daemon."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    daemons, clients = build_spread(sim, net, n_daemons)
+    gens = []
+    for idx, client in enumerate(clients):
+        gen = ClosedLoopGenerator(
+            sim, (lambda c=client, g=idx: c.multicast(g, None, message_size)), window=window
+        )
+        gens.append(gen)
+
+        def on_deliver(msg, gen=gen, me=client.node.name):
+            if msg.sender == me:
+                gen.notify(msg.seq)
+
+        client.on_deliver = on_deliver
+        gen.start()
+    end = warmup + duration
+    delivered = _window(lambda: sum(c.delivered_bytes.value for c in clients), sim, warmup)
+    messages = _window(lambda: sum(c.delivered.value for c in clients), sim, warmup)
+    sim.run(until=end)
+    cpu = max(d.node.cpu.busy_between(warmup, end) / duration for d in daemons)
+    latencies = [c.latency.trimmed_mean() for c in clients if c.latency.count]
+    return PointResult(
+        label=f"Spread x{n_daemons}",
+        offered_mbps=0.0,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=messages() / duration,
+        latency_ms=(sum(latencies) / len(latencies) * 1e3 if latencies else 0.0),
+        cpu_pct=100.0 * cpu,
+    )
+
+
+def run_mencius_point(
+    n_servers: int,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    window: int = 16,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    seed: int = 1,
+) -> PointResult:
+    """Closed-loop Mencius: every server broadcasts; throughput is the
+    per-server delivery rate (every server delivers everything)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    servers = build_mencius(sim, net, n_servers)
+    gens = []
+    for server in servers:
+        gen = ClosedLoopGenerator(
+            sim, (lambda s=server: s.broadcast(None, message_size)), window=window
+        )
+        gens.append(gen)
+    by_name = {server.node.name: gen for server, gen in zip(servers, gens)}
+    for server in servers:
+        server.on_deliver = (
+            lambda value, me=server.node.name: by_name[value.sender].notify(value.seq)
+            if value.sender == me
+            else None
+        )
+    for gen in gens:
+        gen.start()
+    observer = servers[0]
+    end = warmup + duration
+    delivered = _window(lambda: observer.delivered_bytes.value, sim, warmup)
+    messages = _window(lambda: observer.delivered.value, sim, warmup)
+    sim.run(until=end)
+    cpu = max(s.node.cpu.busy_between(warmup, end) / duration for s in servers)
+    return PointResult(
+        label=f"Mencius x{n_servers}",
+        offered_mbps=0.0,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=messages() / duration,
+        latency_ms=observer.latency.trimmed_mean() * 1e3,
+        cpu_pct=100.0 * cpu,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 and 8 — the effect of Δ and M (two rings, one learner on both)
+# ---------------------------------------------------------------------------
+def run_two_ring_parameter_point(
+    offered_mbps_total: float,
+    delta: float = 1e-3,
+    m: int = 1,
+    lambda_rate: float = 9000.0,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    burst: int = 16,
+    jitter: float = 0.3,
+    seed: int = 1,
+) -> PointResult:
+    """Two rings at equal average rates, one learner subscribing to both.
+
+    Arrivals are bursty and jittered (as real clients are): during the
+    gaps of one ring the learner must wait for either that ring's next
+    burst or the next skip correction — which is exactly what makes the
+    choice of Delta visible in latency (paper, Section VI-C).
+    """
+    mrp = MultiRingPaxos(
+        MultiRingConfig(
+            n_groups=2, lambda_rate=lambda_rate, delta=delta, m=m, seed=seed
+        )
+    )
+    sim = mrp.sim
+    learner = mrp.add_learner(groups=[0, 1])
+    per_ring_rate = _rate_to_msgs(offered_mbps_total / 2.0, message_size)
+    for g in range(2):
+        prop = mrp.add_proposer()
+        OpenLoopGenerator(
+            sim,
+            (lambda p=prop, g=g: p.multicast(g, None, message_size)),
+            ConstantRate(per_ring_rate),
+            jitter=jitter,
+            burst=burst,
+            name=f"openloop.g{g}",
+        ).start()
+    end = warmup + duration
+    delivered = _window(lambda: learner.delivered_bytes.value, sim, warmup)
+    sim.run(until=end)
+    coord_cpu = max(
+        handle.coordinator.node.cpu.busy_between(warmup, end) / duration
+        for handle in mrp.rings.values()
+    )
+    learner_cpu = learner.node.cpu.busy_between(warmup, end) / duration
+    return PointResult(
+        label=f"delta={delta * 1e3:g}ms M={m} lambda={lambda_rate:g}",
+        offered_mbps=offered_mbps_total,
+        delivered_mbps=bytes_per_s_to_mbps(delivered() / duration),
+        msgs_per_s=0.0,
+        latency_ms=learner.latency.trimmed_mean() * 1e3,
+        cpu_pct=100.0 * coord_cpu,
+        extra={"learner_cpu_pct": 100.0 * learner_cpu},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-11 — λ time series (two rings, rate schedules)
+# ---------------------------------------------------------------------------
+def run_two_ring_timeseries(
+    schedules: tuple[RateSchedule, RateSchedule],
+    lambda_rate: float,
+    duration: float = 100.0,
+    m: int = 1,
+    delta: float = 1e-3,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    buffer_limit: int = 200_000,
+    seed: int = 1,
+    bucket: float = 1.0,
+    jitter: float = 0.15,
+    rate_skew: float = 0.01,
+) -> SeriesResult:
+    """Two rings driven by per-ring rate schedules; per-second series.
+
+    ``jitter`` adds mean-preserving interarrival noise; ``rate_skew``
+    additionally slows ring 1 by that fraction. Physically identical
+    machines still differ slightly (clocks, scheduling, batching), so
+    "equal" offered rates drift apart systematically — which is exactly
+    why the paper's learners never recover at lambda = 0 (Figure 9).
+    """
+    mrp = MultiRingPaxos(
+        MultiRingConfig(
+            n_groups=2,
+            lambda_rate=lambda_rate,
+            delta=delta,
+            m=m,
+            buffer_limit=buffer_limit,
+            seed=seed,
+            series_bucket=bucket,
+        )
+    )
+    sim = mrp.sim
+    learner = mrp.add_learner(groups=[0, 1])
+    for g, schedule in enumerate(schedules):
+        prop = mrp.add_proposer()
+        if g == 1 and rate_skew:
+            schedule = ScaledRate(schedule, 1.0 - rate_skew)
+        OpenLoopGenerator(
+            sim,
+            (lambda p=prop, g=g: p.multicast(g, None, message_size)),
+            schedule,
+            stop_at=duration,
+            jitter=jitter,
+            name=f"openloop.g{g}",
+        ).start()
+    sim.run(until=duration)
+    multicast = {
+        g: [
+            (t, bytes_per_s_to_mbps(v))
+            for t, v in mrp.learners[0].ring_learners[g].receive_series.series(0.0, duration)
+        ]
+        for g in (0, 1)
+    }
+    return SeriesResult(
+        label=f"lambda={lambda_rate:g}",
+        multicast_mbps=multicast,
+        delivered_mbps=[
+            (t, bytes_per_s_to_mbps(v))
+            for t, v in learner.delivery_series.series(0.0, duration)
+        ],
+        latency_ms=[(t, v * 1e3) for t, v in learner.latency_series.mean_series(0.0, duration)],
+        extra={
+            "halted": learner.halted,
+            "halted_at": learner.merge.halted_at,
+            "buffered_instances": learner.buffered_instances,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — coordinator failure and restart
+# ---------------------------------------------------------------------------
+def run_coordinator_failure_timeseries(
+    rate_msgs_per_s: float = 4000.0,
+    fail_at: float = 20.0,
+    restart_after: float = 3.0,
+    duration: float = 40.0,
+    lambda_rate: float = 9000.0,
+    message_size: int = DEFAULT_VALUE_SIZE,
+    window: int = 8000,
+    seed: int = 1,
+    bucket: float = 1.0,
+) -> SeriesResult:
+    """Two rings at ~constant rate; ring 0's coordinator dies and returns.
+
+    Proposers are closed-loop on top of a rate pacer, so the learner's
+    stall visibly throttles the sender of ring 1 (the effect the paper
+    highlights in Figure 12's left plot).
+    """
+    mrp = MultiRingPaxos(
+        MultiRingConfig(n_groups=2, lambda_rate=lambda_rate, seed=seed, series_bucket=bucket)
+    )
+    sim = mrp.sim
+    learner = mrp.add_learner(groups=[0, 1])
+    gens: dict[tuple[str, int], ThrottledGenerator] = {}
+    for g in range(2):
+        prop = mrp.add_proposer()
+        gen = ThrottledGenerator(
+            sim,
+            (lambda p=prop, g=g: p.multicast(g, None, message_size)),
+            rate=rate_msgs_per_s,
+            max_outstanding=window,
+        )
+        gens[(prop.node.name, g)] = gen
+        gen.start()
+
+    def hook(group: int, value) -> None:
+        gen = gens.get((value.sender, group))
+        if gen is not None:
+            gen.notify(value.seq)
+
+    learner.on_deliver = hook
+    sim.at(fail_at, lambda: mrp.crash_coordinator(0))
+    sim.at(fail_at + restart_after, lambda: mrp.restart_coordinator(0))
+    sim.run(until=duration)
+    receive = {
+        g: [
+            (t, bytes_per_s_to_mbps(v))
+            for t, v in learner.ring_learners[g].receive_series.series(0.0, duration)
+        ]
+        for g in (0, 1)
+    }
+    return SeriesResult(
+        label="coordinator failure",
+        multicast_mbps=receive,
+        delivered_mbps=[
+            (t, bytes_per_s_to_mbps(v))
+            for t, v in learner.delivery_series.series(0.0, duration)
+        ],
+        latency_ms=[(t, v * 1e3) for t, v in learner.latency_series.mean_series(0.0, duration)],
+        extra={"fail_at": fail_at, "restart_at": fail_at + restart_after},
+    )

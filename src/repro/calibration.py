@@ -1,0 +1,92 @@
+"""Calibration constants mapping the paper's testbed onto the simulator.
+
+The paper ran on Dell SC1435 servers (2x dual-core Opteron 2.0 GHz) behind
+an HP ProCurve Gigabit switch with 0.1 ms RTT, with commodity disks for
+Recoverable mode. These constants are chosen so the simulated substrate
+saturates where the paper's hardware did:
+
+* **In-memory Ring Paxos** is CPU-bound at the coordinator at ~700 Mbps of
+  8 KB values (Figure 1, "97.6%" annotation). The coordinator's hot path
+  per value is: receive it from the proposer, ip-multicast the Phase 2A
+  packet, process the ring's Phase 2B, and emit the decision. With
+  ``CPU_BYTE_COST_COORDINATOR`` = 1.0e-8 s/B and 8 us fixed per value, one
+  8 KB value costs ~90 us of coordinator CPU => saturation at ~11.1 K
+  values/s = ~730 Mbps, i.e. ~96% utilization at 700 Mbps.
+* **Recoverable Ring Paxos** is disk-bound at ~400 Mbps (Figure 1): each
+  acceptor sustains ``DISK_BANDWIDTH`` = 50 MB/s of buffered writes. At
+  that point the coordinator CPU sits near 400/730 ~ 55-60%, matching the
+  figure's "57.5% / 62.5%" annotations.
+* **Learners** saturate their 1 Gbps ingress link when subscribed to
+  enough rings (Figure 6: 2 rings for In-memory, 3 for Recoverable).
+
+Changing these values re-scales the absolute numbers but preserves every
+qualitative claim; the benchmark suite asserts only shapes and ratios.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINK_BANDWIDTH_BYTES_PER_S",
+    "ONE_WAY_PROPAGATION_S",
+    "CPU_BYTE_COST_COORDINATOR",
+    "CPU_FIXED_COST_COORDINATOR",
+    "CPU_BYTE_COST_ACCEPTOR",
+    "CPU_FIXED_COST_ACCEPTOR",
+    "CPU_BYTE_COST_LEARNER",
+    "CPU_FIXED_COST_LEARNER",
+    "CPU_FIXED_COST_SMALL_MESSAGE",
+    "DISK_BANDWIDTH_BYTES_PER_S",
+    "DISK_BUFFER_BYTES",
+    "DEFAULT_VALUE_SIZE",
+    "BATCH_SIZE_BYTES",
+    "BATCH_TIMEOUT_S",
+    "CONTROL_MESSAGE_SIZE",
+    "SKIP_MESSAGE_SIZE",
+    "mbps_to_bytes_per_s",
+    "bytes_per_s_to_mbps",
+]
+
+# ---------------------------------------------------------------------------
+# Fabric (Section VI-A: Gigabit switch, 0.1 ms round-trip time)
+# ---------------------------------------------------------------------------
+LINK_BANDWIDTH_BYTES_PER_S = 1e9 / 8.0
+ONE_WAY_PROPAGATION_S = 50e-6
+
+# ---------------------------------------------------------------------------
+# CPU costs (processor-seconds). "Coordinator" covers the full per-value
+# hot path at the distinguished acceptor; plain acceptors and learners do
+# strictly less work per value.
+# ---------------------------------------------------------------------------
+CPU_BYTE_COST_COORDINATOR = 1.0e-8
+CPU_FIXED_COST_COORDINATOR = 8e-6
+CPU_BYTE_COST_ACCEPTOR = 2.5e-9
+CPU_FIXED_COST_ACCEPTOR = 3e-6
+CPU_BYTE_COST_LEARNER = 3.0e-9
+CPU_FIXED_COST_LEARNER = 4e-6
+CPU_FIXED_COST_SMALL_MESSAGE = 2e-6
+
+# ---------------------------------------------------------------------------
+# Disk (Recoverable mode): 50 MB/s sustained = 400 Mbps, buffered writes.
+# ---------------------------------------------------------------------------
+DISK_BANDWIDTH_BYTES_PER_S = 50e6
+DISK_BUFFER_BYTES = 4 * 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Protocol framing (Section VI-A: 8 KB application messages; Ring Paxos
+# batches values into 8 KB consensus instances with a small timeout).
+# ---------------------------------------------------------------------------
+DEFAULT_VALUE_SIZE = 8 * 1024
+BATCH_SIZE_BYTES = 8 * 1024
+BATCH_TIMEOUT_S = 1e-3
+CONTROL_MESSAGE_SIZE = 64
+SKIP_MESSAGE_SIZE = 64
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return mbps * 1e6 / 8.0
+
+
+def bytes_per_s_to_mbps(rate: float) -> float:
+    """Convert bytes/second to megabits/second."""
+    return rate * 8.0 / 1e6

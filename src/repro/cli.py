@@ -1,0 +1,80 @@
+"""Command-line interface: regenerate paper figures without pytest.
+
+Usage::
+
+    python -m repro list               # available experiments
+    python -m repro fig1               # run one figure, print its table
+    python -m repro fig5 fig6          # several in sequence
+    python -m repro all                # the whole evaluation
+    python -m repro fig1 --out results # also persist tables as text files
+
+The same experiment definitions back the pytest benchmarks (which add the
+shape assertions); see ``repro.bench.figures``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .bench.figures import FIGURES, run_figure
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Multi-Ring Paxos paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each table to DIR/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    names = list(args.experiments)
+    if names == ["list"]:
+        print("available experiments:")
+        for name, fn in sorted(FIGURES.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {doc}")
+        return 0
+    if names == ["all"]:
+        names = sorted(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        _, table = run_figure(name)
+        elapsed = time.time() - started
+        print()
+        print(table)
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(table + "\n")
+            print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Multi-Ring Paxos: scalable atomic multicast (the paper's contribution).
+
+Composes independent Ring Paxos instances — one per group (or group set) —
+and gives learners a deterministic merge over the rings they subscribe to.
+Coordinators keep every ring's instance rate at λ by proposing batched
+skip instances, so merge never blocks on a slow ring for long.
+"""
+
+from .config import MultiRingConfig
+from .deployment import MultiRingPaxos, RingHandle
+from .groups import Group, GroupRegistry
+from .learner import MultiRingLearner
+from .merge import DeterministicMerge
+from .proposer import MultiRingProposer
+from .skip import SkipManager
+
+__all__ = [
+    "DeterministicMerge",
+    "Group",
+    "GroupRegistry",
+    "MultiRingConfig",
+    "MultiRingLearner",
+    "MultiRingPaxos",
+    "MultiRingProposer",
+    "RingHandle",
+    "SkipManager",
+]

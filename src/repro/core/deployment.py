@@ -1,0 +1,241 @@
+"""The Multi-Ring Paxos deployment: the library's top-level facade.
+
+A :class:`MultiRingPaxos` object owns the simulated cluster: it builds one
+Ring Paxos instance per ring (acceptor nodes, coordinator, skip manager),
+registers the groups, and hands out learners and proposers. Typical use::
+
+    from repro import MultiRingConfig, MultiRingPaxos
+
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2))
+    learner = mrp.add_learner(groups=[0, 1],
+                              on_deliver=lambda g, v: print(g, v.payload))
+    proposer = mrp.add_proposer()
+    proposer.multicast(0, payload="hello", size=8192)
+    mrp.run(until=1.0)
+
+Failure injection for the Figure 12 experiment is built in:
+``crash_coordinator`` / ``restart_coordinator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..calibration import DISK_BANDWIDTH_BYTES_PER_S, DISK_BUFFER_BYTES
+from ..errors import ConfigurationError
+from ..ringpaxos.acceptor import RingAcceptor
+from ..ringpaxos.config import RingConfig
+from ..ringpaxos.coordinator import RingCoordinator
+from ..ringpaxos.messages import ClientValue
+from ..ringpaxos.reconfig import RingFailover
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.simulator import Simulator
+from .config import MultiRingConfig
+from .groups import GroupRegistry
+from .learner import MultiRingLearner
+from .proposer import MultiRingProposer
+from .skip import SkipManager
+
+__all__ = ["RingHandle", "MultiRingPaxos"]
+
+
+@dataclass(slots=True)
+class RingHandle:
+    """Everything belonging to one deployed ring."""
+
+    config: RingConfig
+    coordinator: RingCoordinator
+    skip_manager: SkipManager
+    acceptors: list[RingAcceptor] = field(default_factory=list)
+    spares: list[Node] = field(default_factory=list)
+    failover: RingFailover | None = None
+
+
+class MultiRingPaxos:
+    """A complete Multi-Ring Paxos deployment on a simulated cluster."""
+
+    def __init__(
+        self,
+        config: MultiRingConfig | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+    ) -> None:
+        self.config = config if config is not None else MultiRingConfig()
+        self.sim = sim if sim is not None else Simulator(seed=self.config.seed)
+        self.network = network if network is not None else Network(self.sim)
+        self.registry = GroupRegistry()
+        self.rings: dict[int, RingHandle] = {}
+        self.learners: list[MultiRingLearner] = []
+        self.proposers: list[MultiRingProposer] = []
+        self._learner_count = 0
+        self._proposer_count = 0
+        assert self.config.n_rings is not None
+        for ring_id in range(self.config.n_rings):
+            self.rings[ring_id] = self._build_ring(ring_id)
+        for group_id in range(self.config.n_groups):
+            self.registry.add(group_id, self.config.ring_of_group(group_id))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_ring(self, ring_id: int) -> RingHandle:
+        cfg = self.config
+        acc_names = [f"mr{ring_id}-acc{i}" for i in range(cfg.acceptors_per_ring - 1)]
+        acc_names.append(f"mr{ring_id}-coord")
+        ring_config = RingConfig(
+            ring_id=ring_id,
+            acceptors=acc_names,
+            durable=cfg.durable,
+            batch_size=cfg.batch_size,
+            batch_timeout=cfg.batch_timeout,
+            window=cfg.window,
+        )
+        nodes = []
+        for name in acc_names:
+            node = Node(
+                self.sim,
+                name,
+                disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S if cfg.durable else None,
+                disk_buffer_bytes=DISK_BUFFER_BYTES,
+            )
+            self.network.add_node(node)
+            nodes.append(node)
+        coordinator = RingCoordinator(self.sim, self.network, nodes[-1], ring_config)
+        acceptors = [
+            RingAcceptor(self.sim, self.network, node, ring_config) for node in nodes[:-1]
+        ]
+        skip_manager = SkipManager(
+            self.sim, coordinator, lambda_rate=cfg.lambda_rate, delta=cfg.delta
+        )
+        spares = []
+        for i in range(cfg.spares_per_ring):
+            spare = Node(
+                self.sim,
+                f"mr{ring_id}-spare{i}",
+                disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S if cfg.durable else None,
+                disk_buffer_bytes=DISK_BUFFER_BYTES,
+            )
+            self.network.add_node(spare)
+            spares.append(spare)
+        handle = RingHandle(
+            config=ring_config,
+            coordinator=coordinator,
+            skip_manager=skip_manager,
+            acceptors=acceptors,
+            spares=spares,
+        )
+        if cfg.auto_failover:
+            handle.failover = RingFailover(
+                self.sim,
+                self.network,
+                ring_config,
+                acceptors,
+                spare_nodes=spares,
+                suspect_timeout=cfg.suspect_timeout,
+                on_new_coordinator=(
+                    lambda coord, ring_id=ring_id: self._on_ring_failover(ring_id, coord)
+                ),
+            )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Participants
+    # ------------------------------------------------------------------
+    @property
+    def ring_configs(self) -> dict[int, RingConfig]:
+        """Ring id -> ring configuration."""
+        return {rid: handle.config for rid, handle in self.rings.items()}
+
+    def add_learner(
+        self,
+        groups: list[int],
+        on_deliver: Callable[[int, ClientValue], None] | None = None,
+        name: str | None = None,
+    ) -> MultiRingLearner:
+        """Attach a new learner node subscribed to ``groups``."""
+        for gid in groups:
+            if gid not in self.registry:
+                raise ConfigurationError(f"unknown group {gid}")
+        if name is None:
+            name = f"mr-lrn{self._learner_count}"
+        node = Node(self.sim, name)
+        self.network.add_node(node)
+        learner = MultiRingLearner(
+            self.sim,
+            self.network,
+            node,
+            self.registry,
+            self.ring_configs,
+            subscriptions=groups,
+            on_deliver=on_deliver,
+            m=self.config.m,
+            buffer_limit=self.config.buffer_limit,
+            learner_index=self._learner_count,
+            series_bucket=self.config.series_bucket,
+        )
+        self._learner_count += 1
+        self.learners.append(learner)
+        return learner
+
+    def add_proposer(self, name: str | None = None) -> MultiRingProposer:
+        """Attach a new proposer node (it can multicast to any group)."""
+        if name is None:
+            name = f"mr-prop{self._proposer_count}"
+        node = Node(self.sim, name)
+        self.network.add_node(node)
+        proposer = MultiRingProposer(
+            self.sim, self.network, node, self.registry, self.ring_configs
+        )
+        self._proposer_count += 1
+        self.proposers.append(proposer)
+        return proposer
+
+    # ------------------------------------------------------------------
+    # Execution and failure injection
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.sim.run(until=until)
+
+    def crash_coordinator(self, ring_id: int) -> None:
+        """Stop a ring's coordinator (machine down, Figure 12 at t = 20 s)."""
+        handle = self.rings[ring_id]
+        handle.coordinator.crash()
+        handle.coordinator.node.crash()
+
+    def restart_coordinator(self, ring_id: int) -> None:
+        """Bring a crashed coordinator back; it catches up with skips."""
+        handle = self.rings[ring_id]
+        handle.coordinator.node.restart()
+        handle.coordinator.restart()
+
+    def coordinator_cpu(self, ring_id: int, window: float = 1.0) -> float:
+        """Coordinator CPU utilization over the trailing ``window`` seconds."""
+        return self.rings[ring_id].coordinator.node.cpu.utilization(window)
+
+    def _on_ring_failover(self, ring_id: int, coordinator: RingCoordinator) -> None:
+        """Adopt a reconfigured ring: swap the handle's roles, re-seed the
+        skip manager (so the outage's missed intervals are topped up on
+        its first tick), and point proposers at the new coordinator."""
+        handle = self.rings[ring_id]
+        old_manager = handle.skip_manager
+        old_manager.crash()
+        handle.coordinator = coordinator
+        handle.config = coordinator.config
+        new_manager = SkipManager(
+            self.sim,
+            coordinator,
+            lambda_rate=self.config.lambda_rate,
+            delta=self.config.delta,
+        )
+        # Inherit the rate-accounting epoch: the first tick then covers
+        # the entire outage, exactly like a restarted coordinator's would.
+        new_manager.prev_k = old_manager.prev_k
+        new_manager.prev_time = old_manager.prev_time
+        handle.skip_manager = new_manager
+        if handle.failover is not None:
+            handle.failover.config = coordinator.config
+        for proposer in self.proposers:
+            proposer.retarget(ring_id, coordinator.config)

@@ -1,0 +1,171 @@
+"""The Multi-Ring Paxos learner: per-ring learners + deterministic merge.
+
+One :class:`MultiRingLearner` lives on one node and subscribes to a set of
+groups. For every ring backing those groups it instantiates a
+:class:`~repro.ringpaxos.learner.RingLearner` (sharing the node, so all
+rings compete for the same NIC and CPU — the resource model behind
+Figure 6) and feeds the per-ring ordered streams into a
+:class:`~repro.core.merge.DeterministicMerge`.
+
+Messages of groups the learner does not subscribe to (possible when
+several groups share a ring, Section IV-D) are discarded after the merge —
+they still cost ingress bandwidth and CPU, as the paper notes.
+
+All the quantities the evaluation plots are measured here: delivery
+throughput (aggregate and per group), delivery latency from the original
+multicast timestamp, per-ring receive rate, and merge-buffer occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+from ..metrics import BucketSeries, Counter, LatencyHistogram
+from ..ringpaxos.config import RingConfig
+from ..ringpaxos.learner import RingLearner
+from ..ringpaxos.messages import ClientValue, DataBatch, SkipRange
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.process import Process
+from .groups import GroupRegistry
+from .merge import DeterministicMerge
+
+__all__ = ["MultiRingLearner"]
+
+
+class MultiRingLearner(Process):
+    """A learner subscribed to one or more groups.
+
+    Parameters
+    ----------
+    subscriptions:
+        Group ids this learner delivers; must exist in the registry.
+    ring_configs:
+        Mapping ring id -> :class:`RingConfig` of the deployment.
+    on_deliver:
+        Application callback ``(group_id, value)`` in merged order.
+    m:
+        The merge quota M (consensus instances per ring per visit).
+    buffer_limit:
+        Merge-buffer halt threshold in logical instances (Figure 10).
+    """
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        node: Node,
+        registry: GroupRegistry,
+        ring_configs: dict[int, RingConfig],
+        subscriptions: list[int],
+        on_deliver: Callable[[int, ClientValue], None] | None = None,
+        m: int = 1,
+        buffer_limit: int = 200_000,
+        learner_index: int = 0,
+        series_bucket: float = 1.0,
+    ) -> None:
+        super().__init__(sim, f"mrlearner@{node.name}")
+        if not subscriptions:
+            raise ValueError("a learner must subscribe to at least one group")
+        self.network = network
+        self.node = node
+        self.registry = registry
+        self.subscriptions = sorted(set(subscriptions))
+        self.on_deliver = on_deliver
+        self.m = m
+        self.delivered_messages = Counter("delivered_messages")
+        self.delivered_bytes = Counter("delivered_bytes")
+        self.discarded_messages = Counter("discarded_messages")
+        self.latency = LatencyHistogram("delivery_latency")
+        self.delivery_series = BucketSeries(series_bucket, "delivered_bytes_per_s")
+        self.latency_series = BucketSeries(series_bucket, "latency_mean")
+        self.group_bytes: dict[int, Counter] = {
+            gid: Counter(f"g{gid}.delivered_bytes") for gid in self.subscriptions
+        }
+        self.group_series: dict[int, BucketSeries] = {
+            gid: BucketSeries(series_bucket, f"g{gid}.delivered_bytes_per_s")
+            for gid in self.subscriptions
+        }
+        ring_order = registry.rings_for(self.subscriptions)
+        self.merge = DeterministicMerge(
+            ring_order=ring_order,
+            m=m,
+            on_deliver=self._merged_delivery,
+            buffer_limit=buffer_limit,
+            on_halt=self._on_halt,
+        )
+        self.ring_learners: dict[int, RingLearner] = {}
+        for ring_id in ring_order:
+            config = ring_configs[ring_id]
+            self.ring_learners[ring_id] = RingLearner(
+                sim,
+                network,
+                node,
+                config,
+                learner_index=learner_index,
+                on_decide=self._make_ring_feed(ring_id),
+                series_bucket=series_bucket,
+            )
+
+    # ------------------------------------------------------------------
+    # Ring stream -> merge
+    # ------------------------------------------------------------------
+    def _make_ring_feed(self, ring_id: int):
+        def feed(instance: int, item: DataBatch | SkipRange) -> None:
+            if self.crashed:
+                return
+            self.merge.push(ring_id, instance, item, now=self.sim.now)
+
+        return feed
+
+    # ------------------------------------------------------------------
+    # Merged delivery
+    # ------------------------------------------------------------------
+    def _merged_delivery(self, ring_id: int, instance: int, value: ClientValue) -> None:
+        if value.group not in self.group_bytes:
+            # A co-hosted group this learner does not subscribe to: the
+            # bandwidth and CPU were already spent; the message is dropped.
+            self.discarded_messages.inc()
+            return
+        now = self.sim.now
+        self.delivered_messages.inc()
+        self.delivered_bytes.inc(value.size)
+        self.delivery_series.record(now, value.size)
+        self.group_bytes[value.group].inc(value.size)
+        self.group_series[value.group].record(now, value.size)
+        lag = max(0.0, now - value.created_at)
+        self.latency.record(lag)
+        self.latency_series.record(now, lag)
+        if self.on_deliver is not None:
+            self.on_deliver(value.group, value)
+
+    def _on_halt(self) -> None:
+        """Merge buffer overflowed: the learner halts (paper, Section VI-E)."""
+        # Deliveries stop; incoming traffic keeps arriving and is buffered
+        # (and eventually dropped) — mirroring a process whose heap is full.
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        """True once the merge buffer overflowed (no recovery, as in Fig 10)."""
+        return self.merge.halted
+
+    @property
+    def buffered_instances(self) -> float:
+        """Logical instances waiting in the merge buffer."""
+        return self.merge.buffered_instances.value
+
+    def receive_rate_series(self, ring_id: int) -> BucketSeries:
+        """Per-ring receive-side byte series (Figure 12's left plot)."""
+        return self.ring_learners[ring_id].receive_series
+
+    def on_crash(self) -> None:
+        for learner in self.ring_learners.values():
+            learner.crash()
+
+    def on_restart(self) -> None:
+        for learner in self.ring_learners.values():
+            learner.restart()

@@ -1,0 +1,168 @@
+"""The deterministic merge (Algorithm 1, Task 4).
+
+A learner subscribed to several rings receives one gapless, ordered stream
+of decided items per ring. The merge delivers them round-robin: rings are
+visited in a fixed, subscription-derived order, and exactly M consecutive
+consensus instances are consumed from a ring before moving to the next.
+Since every learner with overlapping subscriptions visits rings in the
+same order with the same M, any two learners deliver their common messages
+in the same relative order — uniform partial order.
+
+Consuming an instance means: deliver every client value in a data batch
+(one batch occupies one instance), or silently absorb one instance of a
+skip range (a skip range decided at instance k stands for ``count``
+consecutive ⊥ instances and can straddle quota boundaries).
+
+The merge blocks whenever the ring whose turn it is has nothing available
+— that is the behaviour that makes rate imbalance dangerous, and what the
+skip mechanism exists to prevent. Items from other rings queue up
+meanwhile; if the total buffered backlog exceeds ``buffer_limit``
+instances the learner halts, reproducing the overflow halt of Figure 10.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..metrics import Counter, Gauge
+from ..ringpaxos.messages import ClientValue, DataBatch, SkipRange
+
+__all__ = ["DeterministicMerge"]
+
+
+class DeterministicMerge:
+    """Round-robin merge of per-ring decided-item streams.
+
+    Parameters
+    ----------
+    ring_order:
+        Ring ids in the fixed visit order (derived from group ids).
+    m:
+        Consensus instances consumed per ring per visit (the paper's M).
+    on_deliver:
+        ``(ring_id, instance, value)`` for every application message, in
+        the merged delivery order.
+    buffer_limit:
+        Halt threshold, in buffered logical instances across all rings.
+    on_halt:
+        Optional callback invoked once when the buffer overflows.
+    """
+
+    def __init__(
+        self,
+        ring_order: list[int],
+        m: int,
+        on_deliver: Callable[[int, int, ClientValue], None],
+        buffer_limit: int = 200_000,
+        on_halt: Callable[[], None] | None = None,
+    ) -> None:
+        if not ring_order:
+            raise ValueError("merge needs at least one ring")
+        if len(set(ring_order)) != len(ring_order):
+            raise ValueError("ring_order must not repeat rings")
+        if m <= 0:
+            raise ValueError("M must be positive")
+        self.ring_order = list(ring_order)
+        self.m = m
+        self.on_deliver = on_deliver
+        self.buffer_limit = buffer_limit
+        self.on_halt = on_halt
+        self.halted = False
+        self.halted_at: float | None = None
+        self.delivered_messages = Counter("merge_delivered")
+        self.consumed_instances = Counter("merge_consumed_instances")
+        self.skipped_instances = Counter("merge_skipped_instances")
+        self.buffered_instances = Gauge("merge_buffered_instances")
+        # Per-ring FIFO of in-order decided items. Skip ranges are stored
+        # as [remaining_count] so they can be consumed incrementally.
+        self._queues: dict[int, deque] = {rid: deque() for rid in ring_order}
+        self._cursor = 0
+        self._quota = m
+
+    # ------------------------------------------------------------------
+    # Input (called by each ring's learner, in that ring's order)
+    # ------------------------------------------------------------------
+    def push(self, ring_id: int, instance: int, item: DataBatch | SkipRange, now: float = 0.0) -> None:
+        """Feed the next in-order decided item of ``ring_id``."""
+        queue = self._queues[ring_id]
+        if isinstance(item, SkipRange):
+            queue.append([item.count])
+            self.buffered_instances.add(item.count)
+        else:
+            queue.append((instance, item))
+            self.buffered_instances.add(1)
+        if self.halted:
+            return
+        if self.buffered_instances.value > self.buffer_limit:
+            self._halt(now)
+            return
+        self._advance(now)
+
+    # ------------------------------------------------------------------
+    # The merge loop
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        n_rings = len(self.ring_order)
+        idle_visits = 0
+        while idle_visits < n_rings:
+            ring_id = self.ring_order[self._cursor]
+            queue = self._queues[ring_id]
+            consumed_any = False
+            while self._quota > 0 and queue:
+                head = queue[0]
+                if isinstance(head, list):
+                    # A (partially consumed) skip range.
+                    take = min(head[0], self._quota)
+                    head[0] -= take
+                    if head[0] == 0:
+                        queue.popleft()
+                    self._quota -= take
+                    self.skipped_instances.inc(take)
+                    self.consumed_instances.inc(take)
+                    self.buffered_instances.add(-take)
+                    consumed_any = True
+                else:
+                    instance, batch = queue.popleft()
+                    self._quota -= 1
+                    self.consumed_instances.inc()
+                    self.buffered_instances.add(-1)
+                    for value in batch.values:
+                        self.delivered_messages.inc()
+                        self.on_deliver(ring_id, instance, value)
+                    consumed_any = True
+            if self._quota == 0:
+                self._next_ring()
+                idle_visits = 0 if consumed_any else idle_visits + 1
+            elif not queue:
+                if n_rings == 1:
+                    return  # single ring: nothing buffered, just wait
+                # Blocked: this ring's turn but nothing available yet.
+                return
+            else:  # pragma: no cover - loop invariant: quota>0 and queue
+                return
+
+    def _next_ring(self) -> None:
+        self._cursor = (self._cursor + 1) % len(self.ring_order)
+        self._quota = self.m
+
+    def _halt(self, now: float) -> None:
+        self.halted = True
+        self.halted_at = now
+        if self.on_halt is not None:
+            self.on_halt()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_ring(self) -> int:
+        """Ring whose turn it currently is."""
+        return self.ring_order[self._cursor]
+
+    def queue_depth(self, ring_id: int) -> int:
+        """Buffered logical instances for one ring."""
+        total = 0
+        for entry in self._queues[ring_id]:
+            total += entry[0] if isinstance(entry, list) else 1
+        return total

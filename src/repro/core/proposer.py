@@ -1,0 +1,73 @@
+"""The Multi-Ring Paxos proposer: ``multicast(g, m)`` (Algorithm 1, Task 1).
+
+To multicast a message to group g, a proposer sends it to the coordinator
+of g's ring. One :class:`MultiRingProposer` can address any number of
+groups from a single node; under the hood it keeps one reliable
+:class:`~repro.ringpaxos.proposer.RingProposer` per ring, sharing the
+node's NIC.
+"""
+
+from __future__ import annotations
+
+from ..metrics import Counter
+from ..ringpaxos.config import RingConfig
+from ..ringpaxos.messages import ClientValue
+from ..ringpaxos.proposer import RingProposer
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.process import Process
+from .groups import GroupRegistry
+
+__all__ = ["MultiRingProposer"]
+
+
+class MultiRingProposer(Process):
+    """Multicasts application messages to groups."""
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        node: Node,
+        registry: GroupRegistry,
+        ring_configs: dict[int, RingConfig],
+    ) -> None:
+        super().__init__(sim, f"mrproposer@{node.name}")
+        self.network = network
+        self.node = node
+        self.registry = registry
+        self.ring_configs = ring_configs
+        self.multicasts = Counter("multicasts")
+        self.multicast_bytes = Counter("multicast_bytes")
+        self._ring_proposers: dict[int, RingProposer] = {}
+
+    def multicast(self, group_id: int, payload: object, size: int) -> ClientValue:
+        """Atomically multicast ``payload`` (``size`` bytes) to ``group_id``."""
+        ring_id = self.registry.ring_for(group_id)
+        proposer = self._ring_proposers.get(ring_id)
+        if proposer is None:
+            proposer = RingProposer(self.sim, self.network, self.node, self.ring_configs[ring_id])
+            self._ring_proposers[ring_id] = proposer
+        self.multicasts.inc()
+        self.multicast_bytes.inc(size)
+        return proposer.multicast(payload, size, group=group_id)
+
+    @property
+    def unacked(self) -> int:
+        """Submissions not yet acknowledged across all rings."""
+        return sum(p.unacked for p in self._ring_proposers.values())
+
+    def retarget(self, ring_id: int, config: RingConfig) -> None:
+        """Follow ring ``ring_id``'s reconfiguration to a new coordinator."""
+        self.ring_configs[ring_id] = config
+        proposer = self._ring_proposers.get(ring_id)
+        if proposer is not None:
+            proposer.retarget(config)
+
+    def on_crash(self) -> None:
+        for proposer in self._ring_proposers.values():
+            proposer.crash()
+
+    def on_restart(self) -> None:
+        for proposer in self._ring_proposers.values():
+            proposer.restart()

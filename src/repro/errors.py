@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single except clause while letting
+programming errors (``TypeError``, ``ValueError`` from bad arguments at the
+API boundary are still used where conventional) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, or violating a resource-model invariant.
+    """
+
+
+class NetworkError(SimulationError):
+    """Illegal use of the simulated network (unknown node, bad group...)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation reached a state that violates its spec."""
+
+
+class ConfigurationError(ReproError):
+    """A deployment or protocol configuration is invalid."""
+
+
+class BufferOverflowError(ProtocolError):
+    """A bounded protocol buffer (e.g. a learner's merge buffer) overflowed.
+
+    The paper's Section VI-E shows learners halting when their buffers
+    overflow under a mis-configured lambda; we surface that condition as an
+    explicit, inspectable event rather than unbounded memory growth.
+    """

@@ -1,0 +1,15 @@
+"""Measurement instruments for experiments and benchmarks."""
+
+from .counters import Counter, Gauge
+from .histogram import LatencyHistogram
+from .registry import MetricsRegistry
+from .timeseries import BucketSeries, SampledSeries
+
+__all__ = [
+    "BucketSeries",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SampledSeries",
+]

@@ -1,0 +1,41 @@
+"""Scalar metrics: counters and gauges."""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge"]
+
+
+class Counter:
+    """A monotonically increasing sum (messages delivered, bytes sent...)."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    def __init__(self, name: str = "gauge", value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"

@@ -1,0 +1,86 @@
+"""Latency distribution tracking.
+
+The paper reports average delivery latency *after discarding the 5%
+highest values* (Section VI-A, to remove disk-flush spikes), plus full
+latency-vs-throughput curves. :class:`LatencyHistogram` supports exactly
+those reductions.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Collects individual samples; computes means, trimmed means, quantiles.
+
+    Samples are kept exactly (simulation runs produce at most a few million
+    samples, comfortably in memory); ``max_samples`` switches to uniform
+    reservoir-free decimation by simply recording every k-th sample once
+    the cap is hit, which preserves quantiles of stationary streams.
+    """
+
+    def __init__(self, name: str = "latency", max_samples: int = 2_000_000) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def record(self, value: float) -> None:
+        """Add one sample (seconds, or any non-negative quantity)."""
+        if value < 0:
+            raise ValueError("latency samples must be non-negative")
+        self.count += 1
+        self.total += value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                # Decimate: keep every other retained sample, double stride.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all recorded samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def trimmed_mean(self, discard_top_fraction: float = 0.05) -> float:
+        """Mean after dropping the highest ``discard_top_fraction`` samples.
+
+        This is the latency statistic the paper reports (top 5% removed).
+        """
+        if not 0.0 <= discard_top_fraction < 1.0:
+            raise ValueError("discard fraction must be in [0, 1)")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        keep = max(1, math.ceil(len(ordered) * (1.0 - discard_top_fraction)))
+        kept = ordered[:keep]
+        return sum(kept) / len(kept)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 <= p <= 100) of retained samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    @property
+    def max(self) -> float:
+        """Largest retained sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def __repr__(self) -> str:
+        return f"<LatencyHistogram {self.name} n={self.count} mean={self.mean:.6f}>"

@@ -1,0 +1,63 @@
+"""A namespaced registry of metric objects.
+
+Protocol components create their metrics through a shared registry so
+that benchmarks and tests can discover them by name without threading
+references through every constructor.
+"""
+
+from __future__ import annotations
+
+from .counters import Counter, Gauge
+from .histogram import LatencyHistogram
+from .timeseries import BucketSeries
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Creates-or-returns metric objects keyed by dotted name.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("ring0.delivered").inc()
+    >>> reg.counter("ring0.delivered").value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._series: dict[str, BucketSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get or create the :class:`LatencyHistogram` called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str, bucket_width: float = 1.0) -> BucketSeries:
+        """Get or create the :class:`BucketSeries` called ``name``."""
+        if name not in self._series:
+            self._series[name] = BucketSeries(bucket_width, name)
+        return self._series[name]
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+            + list(self._series)
+        )

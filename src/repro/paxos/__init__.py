@@ -1,0 +1,36 @@
+"""Classic Paxos (Lamport's part-time parliament), per paper Section III-A.
+
+This package provides the consensus machinery that Ring Paxos is a
+variation of: proposers that drive Phase 1/2 with round-number retries,
+acceptors with pluggable in-memory or durable state, and learners that
+deliver decided values in instance order.
+"""
+
+from .acceptor import Acceptor
+from .ballot import first_round, next_round, round_owner
+from .learner import Learner
+from .messages import Accept, Accepted, Decision, Nack, Prepare, Promise
+from .proposer import Proposer
+from .storage import AcceptorState, AcceptorStorage, DurableStorage, InMemoryStorage
+from .value import NOOP, Value
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Acceptor",
+    "AcceptorState",
+    "AcceptorStorage",
+    "Decision",
+    "DurableStorage",
+    "InMemoryStorage",
+    "Learner",
+    "NOOP",
+    "Nack",
+    "Prepare",
+    "Promise",
+    "Proposer",
+    "Value",
+    "first_round",
+    "next_round",
+    "round_owner",
+]

@@ -1,0 +1,40 @@
+"""Ballot (round) numbers.
+
+Paxos requires round numbers to be totally ordered and for each proposer
+to own a disjoint, unbounded subset. The classic construction is used:
+round ``r`` belongs to proposer ``r mod n`` where ``n`` is the number of
+potential proposers, so proposer ``p`` uses rounds ``p, p+n, p+2n, ...``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["first_round", "next_round", "round_owner"]
+
+
+def first_round(proposer_id: int, n_proposers: int) -> int:
+    """The smallest round owned by ``proposer_id``."""
+    _validate(proposer_id, n_proposers)
+    return proposer_id
+
+
+def next_round(current: int, proposer_id: int, n_proposers: int) -> int:
+    """The smallest round owned by ``proposer_id`` strictly above ``current``."""
+    _validate(proposer_id, n_proposers)
+    base = (current // n_proposers + 1) * n_proposers + proposer_id
+    if base <= current:
+        base += n_proposers
+    return base
+
+
+def round_owner(round_number: int, n_proposers: int) -> int:
+    """Which proposer owns ``round_number``."""
+    if n_proposers <= 0:
+        raise ValueError("n_proposers must be positive")
+    return round_number % n_proposers
+
+
+def _validate(proposer_id: int, n_proposers: int) -> None:
+    if n_proposers <= 0:
+        raise ValueError("n_proposers must be positive")
+    if not 0 <= proposer_id < n_proposers:
+        raise ValueError("proposer_id must be in [0, n_proposers)")

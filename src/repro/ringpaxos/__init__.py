@@ -1,0 +1,60 @@
+"""Ring Paxos: high-throughput atomic broadcast (paper, Section III-B).
+
+A Paxos variant optimized for clustered systems: acceptors form a logical
+ring, the coordinator disseminates values once with ip-multicast, consensus
+runs on small value IDs, and decisions are piggybacked on subsequent
+multicasts. Offered in In-memory and Recoverable (disk-backed) modes.
+"""
+
+from .acceptor import RingAcceptor
+from .batcher import Batcher
+from .builder import RingDeployment, build_ring
+from .config import RingConfig
+from .coordinator import RingCoordinator
+from .learner import RingLearner
+from .messages import (
+    ClientValue,
+    CoordinatorChange,
+    DataBatch,
+    DecisionAnnounce,
+    Heartbeat,
+    Phase2A,
+    Phase2B,
+    PrepareRange,
+    PromiseRange,
+    RepairReply,
+    RepairRequest,
+    SkipRange,
+    Submit,
+    SubmitAck,
+)
+from .proposer import RingProposer
+from .reconfig import RingFailover
+from .valuestore import ValueStore
+
+__all__ = [
+    "Batcher",
+    "ClientValue",
+    "CoordinatorChange",
+    "DataBatch",
+    "DecisionAnnounce",
+    "Heartbeat",
+    "Phase2A",
+    "Phase2B",
+    "PrepareRange",
+    "PromiseRange",
+    "RepairReply",
+    "RepairRequest",
+    "RingAcceptor",
+    "RingConfig",
+    "RingCoordinator",
+    "RingDeployment",
+    "RingFailover",
+    "RingLearner",
+    "RingProposer",
+    "SkipRange",
+    "Submit",
+    "SubmitAck",
+    "ValueStore",
+    "build_ring",
+]

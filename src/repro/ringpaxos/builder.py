@@ -1,0 +1,100 @@
+"""Convenience builder for single-ring deployments.
+
+Wires one complete Ring Paxos instance — acceptor nodes (the last one
+doubling as coordinator), learner nodes, proposer nodes — onto a simulator
+and network, using the paper's defaults (2 in-ring acceptors, 1 Gbps NICs,
+disks only in Recoverable mode). Multi-Ring Paxos has its own deployment
+builder in ``repro.core.deployment`` that composes these pieces across
+rings and shared learner nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calibration import DISK_BANDWIDTH_BYTES_PER_S, DISK_BUFFER_BYTES
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.simulator import Simulator
+from .acceptor import RingAcceptor
+from .config import RingConfig
+from .coordinator import RingCoordinator
+from .learner import RingLearner
+from .proposer import RingProposer
+
+__all__ = ["RingDeployment", "build_ring"]
+
+
+@dataclass(slots=True)
+class RingDeployment:
+    """Handles to every role of one deployed ring."""
+
+    config: RingConfig
+    coordinator: RingCoordinator
+    acceptors: list[RingAcceptor] = field(default_factory=list)
+    learners: list[RingLearner] = field(default_factory=list)
+    proposers: list[RingProposer] = field(default_factory=list)
+
+
+def build_ring(
+    sim: Simulator,
+    network: Network,
+    ring_id: int = 0,
+    n_acceptors: int = 2,
+    n_learners: int = 1,
+    n_proposers: int = 1,
+    durable: bool = False,
+    disk_bandwidth: float = DISK_BANDWIDTH_BYTES_PER_S,
+    learner_nodes: list[Node] | None = None,
+    on_deliver=None,
+    **config_kwargs,
+) -> RingDeployment:
+    """Create nodes and roles for one ring and wire them together.
+
+    Node names follow ``r{ring_id}-acc{i}`` / ``r{ring_id}-coord`` /
+    ``r{ring_id}-lrn{i}`` / ``r{ring_id}-prop{i}``. Pass pre-existing
+    ``learner_nodes`` to attach this ring's learners to shared machines
+    (how Multi-Ring learners subscribe to several rings).
+    """
+    acc_names = [f"r{ring_id}-acc{i}" for i in range(n_acceptors - 1)]
+    acc_names.append(f"r{ring_id}-coord")
+    config = RingConfig(ring_id=ring_id, acceptors=acc_names, durable=durable, **config_kwargs)
+
+    acc_nodes = []
+    for name in acc_names:
+        node = Node(
+            sim,
+            name,
+            disk_bandwidth=disk_bandwidth if durable else None,
+            disk_buffer_bytes=DISK_BUFFER_BYTES,
+        )
+        network.add_node(node)
+        acc_nodes.append(node)
+
+    coordinator = RingCoordinator(sim, network, acc_nodes[-1], config)
+    acceptors = [RingAcceptor(sim, network, node, config) for node in acc_nodes[:-1]]
+
+    if learner_nodes is None:
+        learner_nodes = []
+        for i in range(n_learners):
+            node = Node(sim, f"r{ring_id}-lrn{i}")
+            network.add_node(node)
+            learner_nodes.append(node)
+    learners = [
+        RingLearner(sim, network, node, config, learner_index=i, on_deliver=on_deliver)
+        for i, node in enumerate(learner_nodes)
+    ]
+
+    proposers = []
+    for i in range(n_proposers):
+        node = Node(sim, f"r{ring_id}-prop{i}")
+        network.add_node(node)
+        proposers.append(RingProposer(sim, network, node, config))
+
+    return RingDeployment(
+        config=config,
+        coordinator=coordinator,
+        acceptors=acceptors,
+        learners=learners,
+        proposers=proposers,
+    )

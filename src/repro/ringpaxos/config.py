@@ -1,0 +1,126 @@
+"""Ring Paxos instance configuration.
+
+One :class:`RingConfig` describes a single ring (one Ring Paxos instance):
+its identity, the acceptors laid out in ring order, durability mode, and
+the protocol knobs (batching, windows, timeouts). Port and multicast-group
+names are derived from the ring id so several rings coexist on one network
+— which is exactly what Multi-Ring Paxos does.
+
+Ring layout follows the paper's Figure 3: the coordinator is one of the
+acceptors and sits at the *end* of the ring, so the Phase 2B message that
+the first acceptor creates arrives back at the coordinator carrying every
+other acceptor's accept. With the paper's f+1 in-ring acceptors (out of
+2f+1 total, the rest spares), a decision requires all in-ring accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calibration import BATCH_SIZE_BYTES, BATCH_TIMEOUT_S
+from ..errors import ConfigurationError
+
+__all__ = ["RingConfig"]
+
+
+@dataclass(slots=True)
+class RingConfig:
+    """Static description of one Ring Paxos instance.
+
+    Parameters
+    ----------
+    ring_id:
+        Unique small integer identifying the ring; also the group id when
+        rings map 1:1 to groups.
+    acceptors:
+        Node names in ring order. The **last** entry is the coordinator.
+    durable:
+        False = In-memory Ring Paxos; True = Recoverable (acceptors write
+        through their disks before acting).
+    batch_size / batch_timeout:
+        A consensus instance is triggered when the batch is full or the
+        timeout fires (paper, footnote 1; 8 KB batches).
+    window:
+        Maximum undecided instances in flight at the coordinator.
+    retry_timeout:
+        Coordinator re-multicast of Phase 2A for undecided instances.
+    heartbeat_interval:
+        Idle coordinators multicast a small heartbeat at this period (used
+        for failure detection and learner liveness).
+    """
+
+    ring_id: int
+    acceptors: list[str]
+    durable: bool = False
+    batch_size: int = BATCH_SIZE_BYTES
+    batch_timeout: float = BATCH_TIMEOUT_S
+    window: int = 32
+    retry_timeout: float = 0.02
+    heartbeat_interval: float = 0.01
+    repair_interval: float = 0.01
+    decision_flush_timeout: float = 100e-6
+    piggyback_decisions: bool = True
+    spares: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ring_id < 0:
+            raise ConfigurationError("ring_id must be non-negative")
+        if len(self.acceptors) < 1:
+            raise ConfigurationError("a ring needs at least one acceptor")
+        if len(set(self.acceptors)) != len(self.acceptors):
+            raise ConfigurationError("ring acceptors must be distinct")
+        if self.batch_size <= 0 or self.window <= 0:
+            raise ConfigurationError("batch_size and window must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived names
+    # ------------------------------------------------------------------
+    @property
+    def coordinator(self) -> str:
+        """The coordinator: the acceptor at the end of the ring."""
+        return self.acceptors[-1]
+
+    @property
+    def ring_size(self) -> int:
+        """Number of in-ring acceptors (f + 1 in the paper's deployment)."""
+        return len(self.acceptors)
+
+    @property
+    def multicast_group(self) -> str:
+        """IP-multicast group joined by acceptors and learners of this ring."""
+        return f"rp{self.ring_id}.group"
+
+    @property
+    def coord_port(self) -> str:
+        """Port where the coordinator receives proposer submissions."""
+        return f"rp{self.ring_id}.coord"
+
+    @property
+    def mcast_port(self) -> str:
+        """Port where 2A / decision / heartbeat multicasts arrive."""
+        return f"rp{self.ring_id}.mcast"
+
+    @property
+    def ring_port(self) -> str:
+        """Port for Phase 2B messages travelling along the ring."""
+        return f"rp{self.ring_id}.ring"
+
+    @property
+    def repair_port(self) -> str:
+        """Port where acceptors answer learner repair requests."""
+        return f"rp{self.ring_id}.repair"
+
+    def successor(self, node: str) -> str | None:
+        """The next hop after ``node`` along the ring (None at the end)."""
+        idx = self.acceptors.index(node)
+        if idx + 1 < len(self.acceptors):
+            return self.acceptors[idx + 1]
+        return None
+
+    def first_acceptor(self) -> str:
+        """The acceptor that originates the Phase 2B message."""
+        return self.acceptors[0]
+
+    def preferential_acceptor(self, learner_index: int) -> str:
+        """The acceptor a learner directs repair requests to (paper III-B)."""
+        return self.acceptors[learner_index % len(self.acceptors)]

@@ -1,0 +1,564 @@
+"""The Ring Paxos coordinator.
+
+The coordinator is the distinguished acceptor at the end of the ring
+(paper, Figure 3). Its hot path per consensus instance:
+
+1. receive client values from proposers and batch them (8 KB batches),
+2. assign a value ID and an instance number, ip-multicast the Phase 2A
+   packet — containing the full batch, the ID, the round and the instance
+   — to all acceptors *and* learners,
+3. receive the Phase 2B token that travelled the ring collecting every
+   other acceptor's accept, add its own accept, and declare the decision,
+4. announce the decision to learners by confirming the value ID — normally
+   piggybacked on the next ip-multicast, with a small flush timeout bound.
+
+Phase 1 is value-independent and pre-executed (Section III-A): acceptors
+start promised to the coordinator's round; an explicit PrepareRange is run
+only by a *new* coordinator after reconfiguration (see ``reconfig``).
+
+The per-instance CPU charges on this path are what saturate In-memory Ring
+Paxos at ~700 Mbps in Figure 1; in Recoverable mode the coordinator also
+writes its accepts through its disk like any acceptor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..calibration import (
+    CPU_BYTE_COST_COORDINATOR,
+    CPU_FIXED_COST_COORDINATOR,
+    CPU_FIXED_COST_SMALL_MESSAGE,
+)
+from ..errors import ProtocolError
+from ..metrics import Counter
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.process import Process, Timer
+from .batcher import Batcher
+from .config import RingConfig
+from .messages import (
+    ClientValue,
+    CoordinatorChange,
+    DataBatch,
+    DecisionAnnounce,
+    Heartbeat,
+    Phase2A,
+    Phase2B,
+    PrepareRange,
+    PromiseRange,
+    RepairReply,
+    RepairRequest,
+    SkipRange,
+    Submit,
+    SubmitAck,
+)
+
+__all__ = ["RingCoordinator"]
+
+
+@dataclass(slots=True)
+class _Inflight:
+    """Coordinator-side state of one undecided instance."""
+
+    instance: int
+    value_id: int
+    item: DataBatch | SkipRange
+    attempt: int = 0
+    ring_accepted: bool = False
+    self_persisted: bool = False
+    retry_event: object | None = None
+
+
+class RingCoordinator(Process):
+    """Coordinator role of one Ring Paxos instance.
+
+    Parameters
+    ----------
+    on_decide:
+        Optional callback ``(instance, item)`` fired at decision time —
+        used by Multi-Ring Paxos's rate monitor and by tests.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        node: Node,
+        config: RingConfig,
+        rnd: int = 0,
+        on_decide: Callable[[int, DataBatch | SkipRange], None] | None = None,
+    ) -> None:
+        super().__init__(sim, f"coord@{node.name}/ring{config.ring_id}")
+        if node.name != config.coordinator:
+            raise ProtocolError(
+                f"coordinator must run on {config.coordinator!r}, got {node.name!r}"
+            )
+        if config.durable and node.disk is None:
+            raise ProtocolError("Recoverable mode requires a disk on the coordinator")
+        self.network = network
+        self.node = node
+        self.config = config
+        self.rnd = rnd
+        self.on_decide = on_decide
+        self.next_instance = 0
+        self.next_value_id = 0
+        self.submissions = Counter("submissions")
+        self.instances_started = Counter("instances_started")
+        self.instances_decided = Counter("instances_decided")
+        self.skips_proposed = Counter("skips_proposed")
+        self.retries = Counter("retries")
+        self._inflight: dict[int, _Inflight] = {}
+        self._backlog: deque[DataBatch | SkipRange] = deque()
+        self._pending_decisions: list[tuple[int, int]] = []
+        self._submit_expected: dict[str, int] = {}
+        self._submit_acked: dict[str, int] = {}
+        self._submit_buffer: dict[str, dict[int, ClientValue]] = {}
+        self._decided_log: dict[int, DataBatch | SkipRange] = {}
+        self._decided_order: deque[int] = deque()
+        self._decided_log_limit = 4 * config.window + 1024
+        self.batcher = Batcher(sim, config.batch_size, config.batch_timeout, self._on_batch)
+        self._decision_timer = Timer(sim, config.decision_flush_timeout, self._flush_decisions)
+        self._heartbeat_timer = Timer(sim, config.heartbeat_interval, self._heartbeat)
+        self._recovering = False
+        self._promises: list[PromiseRange] = []
+        self._promises_needed = 0
+        self._on_recovered = None
+        node.register(config.coord_port, self._on_coord_message)
+        node.register(config.ring_port, self._on_ring_message)
+        node.register(config.repair_port, self._on_repair_port)
+        self._heartbeat_timer.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def window_free(self) -> int:
+        """Instances that may still be started before the window fills."""
+        return self.config.window - len(self._inflight)
+
+    @property
+    def planned_instance(self) -> int:
+        """First instance number not yet claimed by started or queued work.
+
+        Multi-Ring Paxos's rate monitor measures this frontier: it advances
+        immediately when skips are proposed, so an interval's skip batch is
+        not re-proposed while it waits for a window slot.
+        """
+        return self.next_instance + sum(item.instance_count for item in self._backlog)
+
+    @property
+    def backlog(self) -> int:
+        """Batches/skips waiting for a window slot."""
+        return len(self._backlog)
+
+    def submit_local(self, value: ClientValue) -> None:
+        """Inject a client value as if received from a proposer (no network)."""
+        if self.crashed:
+            return
+        self.submissions.inc()
+        self.batcher.add(value)
+
+    def propose_skip(self, count: int) -> None:
+        """Propose ``count`` skip instances as one consensus execution.
+
+        This is the Multi-Ring Paxos optimization of Section IV-D: any
+        number of skips costs a single instance.
+        """
+        if count <= 0:
+            raise ProtocolError("skip count must be positive")
+        if self.crashed:
+            return
+        self.skips_proposed.inc(count)
+        self._enqueue(SkipRange(count))
+
+    # ------------------------------------------------------------------
+    # Batching and windowing
+    # ------------------------------------------------------------------
+    def _on_batch(self, values: list[ClientValue]) -> None:
+        value_id = self.next_value_id
+        self.next_value_id += 1
+        self._enqueue(DataBatch(value_id, tuple(values)))
+
+    def _enqueue(self, item: DataBatch | SkipRange) -> None:
+        self._backlog.append(item)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._recovering:
+            return  # new work queues up until Phase 1 recovery completes
+        while self._backlog and len(self._inflight) < self.config.window:
+            self._start_instance(self._backlog.popleft())
+
+    def _start_instance(self, item: DataBatch | SkipRange) -> None:
+        instance = self.next_instance
+        self.next_instance += item.instance_count
+        value_id = item.value_id if isinstance(item, DataBatch) else -instance - 1
+        state = _Inflight(instance=instance, value_id=value_id, item=item)
+        self._inflight[instance] = state
+        self.instances_started.inc()
+        self._send_phase2a(state)
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def _send_phase2a(self, state: _Inflight) -> None:
+        decisions: tuple[tuple[int, int], ...] = ()
+        if self.config.piggyback_decisions:
+            decisions = tuple(self._pending_decisions)
+            self._pending_decisions.clear()
+            self._decision_timer.stop()
+        msg = Phase2A(
+            instance=state.instance,
+            rnd=self.rnd,
+            item=state.item,
+            attempt=state.attempt,
+            decisions=decisions,
+        )
+        cost = CPU_FIXED_COST_COORDINATOR + CPU_BYTE_COST_COORDINATOR * state.item.size
+        self.node.cpu.execute(cost, self._multicast_phase2a, msg, state)
+
+    def _multicast_phase2a(self, msg: Phase2A, state: _Inflight) -> None:
+        if self.crashed or state.instance not in self._inflight:
+            return
+        self.network.multicast(
+            self.node.name, self.config.multicast_group, self.config.mcast_port, msg, msg.size
+        )
+        self._heartbeat_timer.start()  # any multicast is a liveness signal
+        # The coordinator accepts its own proposal: in Recoverable mode the
+        # accept must be durable before it can count towards the decision.
+        if self.config.durable:
+            assert self.node.disk is not None
+            self.node.disk.write(
+                state.item.size, self._on_self_persisted, state.instance, state.attempt
+            )
+        else:
+            self._on_self_persisted(state.instance, state.attempt)
+        self._arm_retry(state)
+
+    def _on_self_persisted(self, instance: int, attempt: int) -> None:
+        state = self._inflight.get(instance)
+        if state is None or state.attempt != attempt:
+            return
+        state.self_persisted = True
+        self._maybe_decide(state)
+
+    def _on_ring_message(self, src: str, msg) -> None:
+        if self.crashed or not isinstance(msg, Phase2B):
+            return
+        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_phase2b, msg)
+
+    def _on_phase2b(self, msg: Phase2B) -> None:
+        if self.crashed:
+            return
+        state = self._inflight.get(msg.instance)
+        if state is None or msg.rnd != self.rnd or msg.attempt != state.attempt:
+            return
+        if msg.accepts >= self.config.ring_size - 1:
+            state.ring_accepted = True
+            self._maybe_decide(state)
+
+    def _maybe_decide(self, state: _Inflight) -> None:
+        ring_ok = state.ring_accepted or self.config.ring_size == 1
+        if not (ring_ok and state.self_persisted):
+            return
+        if state.retry_event is not None:
+            self.sim.cancel(state.retry_event)
+        del self._inflight[state.instance]
+        self.instances_decided.inc()
+        self._record_decided(state.instance, state.item)
+        if isinstance(state.item, DataBatch):
+            self._ack_decided_batch(state.item)
+        self._pending_decisions.append((state.instance, state.value_id))
+        if not self.config.piggyback_decisions:
+            # Ablation mode: every decision goes out as its own multicast.
+            self._flush_decisions()
+        elif not (self._backlog and len(self._inflight) < self.config.window):
+            # Piggyback on the next 2A if one is imminent; else flush soon.
+            if not self._decision_timer.armed:
+                self._decision_timer.start()
+        if self.on_decide is not None:
+            self.on_decide(state.instance, state.item)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Decisions, heartbeats, retries
+    # ------------------------------------------------------------------
+    def _flush_decisions(self) -> None:
+        if self.crashed or not self._pending_decisions:
+            return
+        msg = DecisionAnnounce(tuple(self._pending_decisions))
+        self._pending_decisions.clear()
+        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._multicast_small, msg)
+
+    def _heartbeat(self) -> None:
+        if self.crashed:
+            return
+        msg = Heartbeat(self.next_instance)
+        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._multicast_small, msg)
+        self._heartbeat_timer.start()
+
+    def _multicast_small(self, msg) -> None:
+        if self.crashed:
+            return
+        self.network.multicast(
+            self.node.name, self.config.multicast_group, self.config.mcast_port, msg, msg.size
+        )
+
+    def _arm_retry(self, state: _Inflight) -> None:
+        if state.instance not in self._inflight:
+            return  # decided while the 2A was being processed
+        if state.retry_event is not None:
+            self.sim.cancel(state.retry_event)
+        state.retry_event = self.call_later(
+            self.config.retry_timeout, self._retry, state.instance, state.attempt
+        )
+
+    def _retry(self, instance: int, attempt: int) -> None:
+        state = self._inflight.get(instance)
+        if state is None or state.attempt != attempt:
+            return
+        state.attempt += 1
+        state.ring_accepted = False
+        state.self_persisted = False
+        self.retries.inc()
+        self._send_phase2a(state)
+
+    # ------------------------------------------------------------------
+    # Inbound submissions and repairs
+    # ------------------------------------------------------------------
+    def _on_coord_message(self, src: str, msg) -> None:
+        if self.crashed:
+            return
+        if isinstance(msg, Submit):
+            self.node.cpu.execute(
+                CPU_FIXED_COST_SMALL_MESSAGE, self._accept_submission, src, msg.value
+            )
+        elif isinstance(msg, RepairRequest):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._repair, src, msg)
+        elif isinstance(msg, PromiseRange):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_promise_range, msg)
+
+    def _accept_submission(self, src: str, value: ClientValue) -> None:
+        """Dedup/reorder per-proposer submissions, then batch them.
+
+        Proposer->coordinator links can lose messages; proposers
+        retransmit unacked values, so the coordinator restores per-sender
+        FIFO order (buffering gaps). Acknowledgements are cumulative and
+        sent only once the value's batch *decides* — an ack therefore
+        guarantees the value survives coordinator crashes (validity).
+        """
+        if self.crashed:
+            return
+        expected = self._submit_expected.get(src, 0)
+        if value.seq == expected:
+            self.submissions.inc()
+            self.batcher.add(value)
+            expected += 1
+            buffered = self._submit_buffer.get(src)
+            while buffered and expected in buffered:
+                self.submissions.inc()
+                self.batcher.add(buffered.pop(expected))
+                expected += 1
+            self._submit_expected[src] = expected
+        elif value.seq > expected:
+            self._submit_buffer.setdefault(src, {})[value.seq] = value
+        # Always acknowledge with both watermarks: received (suppresses
+        # retransmission immediately) and decided (durability frontier).
+        self._send_ack(src)
+
+    def _send_ack(self, src: str) -> None:
+        ack = SubmitAck(
+            received_cum=self._submit_expected.get(src, 0) - 1,
+            decided_cum=self._submit_acked.get(src, -1),
+        )
+        ack_port = f"rp{self.config.ring_id}.submitack"
+        self.network.send(self.node.name, src, ack_port, ack, ack.size)
+
+    def _ack_decided_batch(self, batch: DataBatch) -> None:
+        """Advance the decided watermark for every sender in the batch."""
+        senders = set()
+        for value in batch.values:
+            if value.sender:
+                senders.add(value.sender)
+                acked = max(self._submit_acked.get(value.sender, -1), value.seq)
+                self._submit_acked[value.sender] = acked
+        for sender in senders:
+            self._send_ack(sender)
+
+    def _repair(self, src: str, msg: RepairRequest) -> None:
+        """Resend the Phase 2A for an undecided instance an acceptor missed."""
+        if self.crashed:
+            return
+        state = self._inflight.get(msg.instance)
+        if state is None:
+            return
+        reply = Phase2A(state.instance, self.rnd, state.item, state.attempt)
+        self.network.send(self.node.name, src, self.config.mcast_port, reply, reply.size)
+
+    def _on_repair_port(self, src: str, msg) -> None:
+        """Serve learner repairs from the coordinator's own decided log."""
+        if self.crashed or not isinstance(msg, RepairRequest):
+            return
+        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._serve_learner_repair, src, msg)
+
+    def _serve_learner_repair(self, src: str, msg: RepairRequest) -> None:
+        if self.crashed:
+            return
+        items: list[DataBatch | SkipRange] = []
+        budget = 64 * 1024
+        cursor = msg.instance
+        for _ in range(min(msg.count, 256)):
+            item = self._decided_log.get(cursor)
+            if item is None or budget <= 0:
+                break
+            items.append(item)
+            budget -= item.size
+            cursor += item.instance_count
+        if not items:
+            return
+        reply = RepairReply(msg.instance, tuple(items))
+        self.network.send(
+            self.node.name, src, f"rp{self.config.ring_id}.learner", reply, reply.size
+        )
+
+    def _record_decided(self, instance: int, item: DataBatch | SkipRange) -> None:
+        self._decided_log[instance] = item
+        self._decided_order.append(instance)
+        while len(self._decided_order) > self._decided_log_limit:
+            old = self._decided_order.popleft()
+            self._decided_log.pop(old, None)
+
+    def decided_item(self, instance: int) -> DataBatch | SkipRange | None:
+        """Recently decided item for ``instance`` (None once GC'd)."""
+        return self._decided_log.get(instance)
+
+    # ------------------------------------------------------------------
+    # Takeover (reconfiguration, paper Section IV-C)
+    # ------------------------------------------------------------------
+    def begin_takeover(
+        self,
+        local_promise: PromiseRange,
+        promises_needed: int,
+        on_recovered=None,
+    ) -> None:
+        """Run Phase 1 over all instances and recover accepted values.
+
+        ``local_promise`` is the new coordinator's own acceptor state
+        (read directly — it is co-located). ``promises_needed`` is how
+        many *additional* PromiseRanges must arrive so that, together
+        with the local one, a majority of the original acceptor set has
+        promised. Once recovered, the coordinator announces the new ring,
+        re-proposes every recovered value at its original instance, fills
+        observable gaps with skips, and resumes normal service.
+        """
+        self._recovering = True
+        self._heartbeat_timer.stop()
+        self._promises = [local_promise]
+        self._promises_needed = promises_needed
+        self._on_recovered = on_recovered
+        prepare = PrepareRange(local_promise.from_instance, self.rnd)
+        for member in self.config.acceptors[:-1]:
+            self.network.send(self.node.name, member, self.config.ring_port, prepare, prepare.size)
+        if promises_needed <= 0:
+            self._finish_recovery()
+
+    def _on_promise_range(self, msg: PromiseRange) -> None:
+        if self.crashed or not self._recovering or msg.rnd != self.rnd:
+            return
+        self._promises.append(msg)
+        if len(self._promises) - 1 >= self._promises_needed:
+            self._finish_recovery()
+
+    def _finish_recovery(self) -> None:
+        if not self._recovering:
+            return
+        self._recovering = False
+        # Highest-vrnd accepted item per instance (Paxos value selection).
+        best: dict[int, tuple[int, DataBatch | SkipRange]] = {}
+        for promise in self._promises:
+            for instance, vrnd, item in promise.accepted:
+                held = best.get(instance)
+                if held is None or vrnd > held[0]:
+                    best[instance] = (vrnd, item)
+        self._promises = []
+        # Announce the new layout before any 2A so surviving acceptors
+        # re-chain their successors first (FIFO links keep the order).
+        announce = CoordinatorChange(
+            self.config.ring_id, tuple(self.config.acceptors), self.rnd
+        )
+        self.network.multicast(
+            self.node.name, self.config.multicast_group, self.config.mcast_port,
+            announce, announce.size,
+        )
+        # Re-propose recovered values at their instances; fill gaps (an
+        # instance below the recovered horizon with no accepted value
+        # anywhere in the quorum cannot have been decided) with skips.
+        horizon = 0
+        for instance, (_, item) in best.items():
+            horizon = max(horizon, instance + item.instance_count)
+        # Seed per-sender dedup state from recovered values so proposers'
+        # retransmissions of already-ordered submissions are recognised
+        # (they will be acked when the re-proposed batches re-decide).
+        for _, item in best.values():
+            if isinstance(item, DataBatch):
+                for value in item.values:
+                    if value.sender:
+                        have = self._submit_expected.get(value.sender, 0)
+                        self._submit_expected[value.sender] = max(have, value.seq + 1)
+        max_vid = -1
+        cursor = 0
+        while cursor < horizon:
+            held = best.get(cursor)
+            if held is not None:
+                item = held[1]
+                if isinstance(item, DataBatch):
+                    max_vid = max(max_vid, item.value_id)
+                self._start_at(cursor, item)
+                cursor += item.instance_count
+            else:
+                gap_end = cursor
+                while gap_end < horizon and gap_end not in best:
+                    gap_end += 1
+                self._start_at(cursor, SkipRange(gap_end - cursor))
+                cursor = gap_end
+        self.next_instance = max(self.next_instance, horizon)
+        self.next_value_id = max(self.next_value_id, max_vid + 1)
+        self._heartbeat_timer.start()
+        self._pump()
+        if self._on_recovered is not None:
+            callback, self._on_recovered = self._on_recovered, None
+            callback(self)
+
+    def _start_at(self, instance: int, item: DataBatch | SkipRange) -> None:
+        """Drive Phase 2 for a recovered item at a fixed instance."""
+        value_id = item.value_id if isinstance(item, DataBatch) else -instance - 1
+        state = _Inflight(instance=instance, value_id=value_id, item=item)
+        self._inflight[instance] = state
+        self.instances_started.inc()
+        self._send_phase2a(state)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        self.batcher.stop()
+        self._decision_timer.stop()
+        self._heartbeat_timer.stop()
+
+    def on_restart(self) -> None:
+        """Resume after a forced restart (same node, Figure 12 scenario).
+
+        The coordinator's volatile queues survive in this model (the paper
+        restarts the same process); undecided in-flight instances are
+        re-driven by re-multicasting their Phase 2A.
+        """
+        self._heartbeat_timer.start()
+        for state in self._inflight.values():
+            state.attempt += 1
+            state.ring_accepted = False
+            state.self_persisted = False
+            self._send_phase2a(state)
+        self._pump()

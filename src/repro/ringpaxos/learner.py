@@ -1,0 +1,275 @@
+"""Ring Paxos learners.
+
+A learner subscribes to its ring's ip-multicast group, so it receives the
+full client values in Phase 2A packets and learns outcomes from the
+decision announcements piggybacked on later multicasts (paper, Figure 3,
+step 6). It emits decided items — data batches or skip ranges — in gapless
+*logical instance* order through ``on_decide``; data batches are also
+unpacked to the application through ``on_deliver``.
+
+Loss recovery follows Section III-B: a learner that received a value
+without its notification, the notification without the value, or neither,
+asks its *preferential acceptor* to repair the head-of-line instance. The
+decision frontier carried by coordinator heartbeats makes trailing losses
+observable.
+
+The learner also measures everything the evaluation plots: delivery
+throughput (bytes and messages, cumulative and per-second series),
+delivery latency (stamped at multicast time), and the receive-side byte
+series used in Figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..calibration import (
+    CPU_BYTE_COST_LEARNER,
+    CPU_FIXED_COST_LEARNER,
+    CPU_FIXED_COST_SMALL_MESSAGE,
+)
+from ..metrics import BucketSeries, Counter, LatencyHistogram
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.process import PeriodicTimer, Process
+from .config import RingConfig
+from .messages import (
+    ClientValue,
+    CoordinatorChange,
+    DataBatch,
+    DecisionAnnounce,
+    Heartbeat,
+    Phase2A,
+    RepairReply,
+    RepairRequest,
+    SkipRange,
+)
+from .valuestore import ValueStore
+
+__all__ = ["RingLearner"]
+
+
+class RingLearner(Process):
+    """Learner role for one ring.
+
+    Parameters
+    ----------
+    learner_index:
+        Used to spread learners across preferential acceptors.
+    on_decide:
+        ``(instance, item)`` for every decided item in logical order —
+        including skip ranges. This is the stream Multi-Ring Paxos merges.
+    on_deliver:
+        ``(instance, client_value)`` for application messages only.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        node: Node,
+        config: RingConfig,
+        learner_index: int = 0,
+        on_decide: Callable[[int, DataBatch | SkipRange], None] | None = None,
+        on_deliver: Callable[[int, ClientValue], None] | None = None,
+        series_bucket: float = 1.0,
+    ) -> None:
+        super().__init__(sim, f"learner@{node.name}/ring{config.ring_id}")
+        self.network = network
+        self.node = node
+        self.config = config
+        self.learner_index = learner_index
+        self.on_decide = on_decide
+        self.on_deliver = on_deliver
+        self.next_instance = 0
+        self.frontier = 0  # highest instance known to exist (from heartbeats etc.)
+        self.values = ValueStore()
+        self.delivered_messages = Counter("delivered_messages")
+        self.delivered_bytes = Counter("delivered_bytes")
+        self.received_bytes = Counter("received_bytes")
+        self.skipped_instances = Counter("skipped_instances")
+        self.repairs_requested = Counter("repairs_requested")
+        self.latency = LatencyHistogram(f"ring{config.ring_id}.delivery_latency")
+        self.delivery_series = BucketSeries(series_bucket, "delivered_bytes_per_s")
+        self.receive_series = BucketSeries(series_bucket, "received_bytes_per_s")
+        self.latency_series = BucketSeries(series_bucket, "latency_mean")
+        self._ready: dict[int, DataBatch | SkipRange] = {}
+        self._repair_attempts = 0
+        self._last_repair_instance = -1
+        self._awaiting_value: dict[int, int] = {}  # instance -> value id
+        self._awaiting_by_vid: dict[int, int] = {}  # value id -> instance
+        self._learner_port = f"rp{config.ring_id}.learner"
+        network.join(config.multicast_group, node.name)
+        node.register(config.mcast_port, self._on_mcast)
+        node.register(self._learner_port, self._on_learner_port)
+        self._repair_timer = PeriodicTimer(sim, config.repair_interval, self._check_gaps)
+        self._repair_timer.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def buffered_items(self) -> int:
+        """Decided items waiting for earlier instances (out-of-order)."""
+        return len(self._ready)
+
+    @property
+    def preferential_acceptor(self) -> str:
+        """The acceptor this learner sends repair requests to."""
+        return self.config.preferential_acceptor(self.learner_index)
+
+    # ------------------------------------------------------------------
+    # Multicast traffic
+    # ------------------------------------------------------------------
+    def _on_mcast(self, src: str, msg) -> None:
+        if self.crashed:
+            return
+        if isinstance(msg, Phase2A):
+            self.received_bytes.inc(msg.item.size)
+            self.receive_series.record(self.sim.now, msg.item.size)
+            cost = CPU_FIXED_COST_LEARNER + CPU_BYTE_COST_LEARNER * msg.item.size
+            self.node.cpu.execute(cost, self._on_phase2a, msg)
+        elif isinstance(msg, DecisionAnnounce):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_decisions, msg.decisions)
+        elif isinstance(msg, Heartbeat):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_heartbeat, msg)
+        elif isinstance(msg, CoordinatorChange):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_coordinator_change, msg)
+
+    def _on_phase2a(self, msg: Phase2A) -> None:
+        if self.crashed:
+            return
+        value_id = msg.item.value_id if isinstance(msg.item, DataBatch) else -msg.instance - 1
+        self.values.put(value_id, msg.item)
+        self.frontier = max(self.frontier, msg.instance + msg.item.instance_count)
+        # A decision that was waiting for this value can now be placed.
+        waiting = self._awaiting_by_vid.pop(value_id, None)
+        if waiting is not None:
+            self._awaiting_value.pop(waiting, None)
+            self._place(waiting, msg.item)
+        if msg.decisions:
+            self._on_decisions(msg.decisions)
+
+    def _on_decisions(self, decisions: tuple[tuple[int, int], ...]) -> None:
+        if self.crashed:
+            return
+        for instance, value_id in decisions:
+            if instance < self.next_instance or instance in self._ready:
+                continue
+            item = self.values.get(value_id)
+            if item is None:
+                # Notification without the value (Section III-B): remember
+                # and repair if the 2A never shows up.
+                self._awaiting_value[instance] = value_id
+                self._awaiting_by_vid[value_id] = instance
+            else:
+                self._place(instance, item)
+
+    def _on_heartbeat(self, msg: Heartbeat) -> None:
+        if self.crashed:
+            return
+        self.frontier = max(self.frontier, msg.next_instance)
+
+    def _on_coordinator_change(self, msg: CoordinatorChange) -> None:
+        """Adopt a reconfigured ring: repairs re-target the new members."""
+        if self.crashed:
+            return
+        import dataclasses
+
+        self.config = dataclasses.replace(self.config, acceptors=list(msg.acceptors))
+        self._repair_attempts = 0
+        self._last_repair_instance = -1
+
+    def _on_learner_port(self, src: str, msg) -> None:
+        if self.crashed or not isinstance(msg, RepairReply):
+            return
+        total = sum(item.size for item in msg.items)
+        cost = CPU_FIXED_COST_LEARNER + CPU_BYTE_COST_LEARNER * total
+        self.node.cpu.execute(cost, self._on_repair_reply, msg)
+
+    def _on_repair_reply(self, msg: RepairReply) -> None:
+        if self.crashed:
+            return
+        cursor = msg.instance
+        for item in msg.items:
+            if cursor >= self.next_instance:
+                self._awaiting_value.pop(cursor, None)
+                self._place(cursor, item)
+            cursor += item.instance_count
+
+    # ------------------------------------------------------------------
+    # Ordered emission
+    # ------------------------------------------------------------------
+    def _place(self, instance: int, item: DataBatch | SkipRange) -> None:
+        if instance < self.next_instance or instance in self._ready:
+            return
+        self._ready[instance] = item
+        self.frontier = max(self.frontier, instance + item.instance_count)
+        self._emit_ready()
+
+    def _emit_ready(self) -> None:
+        while self.next_instance in self._ready:
+            instance = self.next_instance
+            item = self._ready.pop(instance)
+            self.next_instance += item.instance_count
+            if isinstance(item, DataBatch):
+                self.values.forget(item.value_id)
+            else:
+                self.skipped_instances.inc(item.count)
+            if self.on_decide is not None:
+                # Merge mode (Multi-Ring Paxos): the merger consumes items
+                # and does the delivery accounting — latency must include
+                # the deterministic-merge buffering.
+                self.on_decide(instance, item)
+            elif isinstance(item, DataBatch):
+                self._deliver_batch(instance, item)
+
+    def _deliver_batch(self, instance: int, batch: DataBatch) -> None:
+        for value in batch.values:
+            self._account_delivery(value)
+            if self.on_deliver is not None:
+                self.on_deliver(instance, value)
+
+    def _account_delivery(self, value: ClientValue) -> None:
+        self.delivered_messages.inc()
+        self.delivered_bytes.inc(value.size)
+        self.delivery_series.record(self.sim.now, value.size)
+        lag = max(0.0, self.sim.now - value.created_at)
+        self.latency.record(lag)
+        self.latency_series.record(self.sim.now, lag)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _check_gaps(self) -> None:
+        """Repair the head-of-line instance when it is observably missing.
+
+        Repairs go to the learner's preferential acceptor first; if several
+        consecutive attempts for the same instance go unanswered (e.g. that
+        acceptor missed the decision announcement too), the learner rotates
+        through the other ring members, including the coordinator.
+        """
+        if self.crashed:
+            return
+        gap_observable = self._ready or self._awaiting_value or self.next_instance < self.frontier
+        if not gap_observable:
+            return
+        if self.next_instance == self._last_repair_instance:
+            self._repair_attempts += 1
+        else:
+            self._last_repair_instance = self.next_instance
+            self._repair_attempts = 0
+        ring = self.config.acceptors
+        target = ring[(self.learner_index + self._repair_attempts // 3) % len(ring)]
+        # Ask for the whole observable gap (bounded); batched replies make
+        # catch-up after an outage a few round trips, not one per instance.
+        count = max(1, min(self.frontier - self.next_instance, 256))
+        req = RepairRequest(self.next_instance, count)
+        self.repairs_requested.inc()
+        self.network.send(self.node.name, target, self.config.repair_port, req, req.size)
+
+    def on_crash(self) -> None:
+        self._repair_timer.stop()
+
+    def on_restart(self) -> None:
+        self._repair_timer.start()

@@ -1,0 +1,261 @@
+"""Ring Paxos wire messages and decided-item types.
+
+Consensus in Ring Paxos is executed on *value IDs* (paper, Section III-B):
+the Phase 2A ip-multicast carries the full client values once, and every
+other protocol message refers to them by ID. Decided items are either a
+:class:`DataBatch` (client values batched into one instance) or a
+:class:`SkipRange` (n consecutive empty instances decided by one consensus
+execution — Multi-Ring Paxos's skip mechanism, Section IV-B/IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calibration import CONTROL_MESSAGE_SIZE
+
+__all__ = [
+    "ClientValue",
+    "DataBatch",
+    "SkipRange",
+    "Submit",
+    "SubmitAck",
+    "Phase2A",
+    "Phase2B",
+    "DecisionAnnounce",
+    "Heartbeat",
+    "RepairRequest",
+    "RepairReply",
+    "PrepareRange",
+    "PromiseRange",
+    "CoordinatorChange",
+]
+
+_DECISION_ENTRY_BYTES = 12  # (instance, value id) pair on the wire
+
+
+@dataclass(frozen=True, slots=True)
+class ClientValue:
+    """One application message multicast by a proposer.
+
+    ``created_at`` stamps the multicast time so learners can measure
+    end-to-end delivery latency without clock plumbing.
+    """
+
+    payload: object
+    size: int
+    sender: str = ""
+    seq: int = 0
+    created_at: float = 0.0
+    group: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DataBatch:
+    """A batch of client values decided in one consensus instance."""
+
+    value_id: int
+    values: tuple[ClientValue, ...]
+
+    @property
+    def size(self) -> int:
+        return sum(v.size for v in self.values)
+
+    @property
+    def instance_count(self) -> int:
+        """A data batch occupies exactly one logical instance."""
+        return 1
+
+
+@dataclass(frozen=True, slots=True)
+class SkipRange:
+    """``count`` consecutive skip (no-op) instances, decided at once.
+
+    Decided at instance ``k``, it stands for logical instances
+    ``k .. k+count-1`` all carrying the bottom value; the next instance
+    used by the coordinator is ``k + count``. Executing any number of
+    skips therefore costs one consensus execution (paper, Section IV-D).
+    """
+
+    count: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+    @property
+    def instance_count(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True, slots=True)
+class Submit:
+    """Proposer -> coordinator: please order this client value.
+
+    Submissions are sequenced per proposer (``value.seq``) so the
+    coordinator can deduplicate retransmissions and restore FIFO order —
+    one-to-one links may lose messages (Section II-A).
+    """
+
+    value: ClientValue
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + self.value.size
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitAck:
+    """Coordinator -> proposer acknowledgement, with two watermarks.
+
+    ``received_cum``: all submissions <= it are in the coordinator's
+    pipeline — the proposer stops retransmitting them (flow control).
+    ``decided_cum``: all submissions <= it are *decided* — they survive
+    any coordinator crash, so the proposer may forget them (validity).
+    After a coordinator change, the proposer rewinds its retransmission
+    watermark to ``decided_cum``: whatever only the dead coordinator had
+    received is offered again to the new one.
+    """
+
+    received_cum: int
+    decided_cum: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Phase2A:
+    """Coordinator's ip-multicast: instance, round, value id, full batch.
+
+    ``decisions`` piggybacks recently decided (instance, value id) pairs so
+    learners usually learn outcomes at zero extra message cost (paper,
+    Figure 3 step 6).
+    """
+
+    instance: int
+    rnd: int
+    item: DataBatch | SkipRange
+    attempt: int = 0
+    decisions: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + self.item.size + _DECISION_ENTRY_BYTES * len(self.decisions)
+
+
+@dataclass(frozen=True, slots=True)
+class Phase2B:
+    """The small accept token forwarded along the ring (one per instance)."""
+
+    instance: int
+    rnd: int
+    value_id: int
+    attempt: int
+    accepts: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionAnnounce:
+    """Standalone decision multicast (used when no 2A is due to carry it)."""
+
+    decisions: tuple[tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + _DECISION_ENTRY_BYTES * len(self.decisions)
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Idle-coordinator liveness beacon; carries the decision frontier."""
+
+    next_instance: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class RepairRequest:
+    """Learner -> preferential acceptor (or acceptor -> coordinator):
+    resend what is needed to decide ``count`` instances from ``instance``.
+
+    Ranged requests make post-outage catch-up practical: a learner that
+    missed seconds of traffic recovers in a few round trips instead of
+    one per instance.
+    """
+
+    instance: int
+    count: int = 1
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class RepairReply:
+    """Answer to a repair: consecutive decided items from ``instance``.
+
+    ``items`` are the decided items for instances ``instance``,
+    ``instance + items[0].instance_count``, ... — consecutive by
+    construction; the replier stops at its first unknown instance or at
+    its byte budget.
+    """
+
+    instance: int
+    items: tuple[DataBatch | SkipRange, ...]
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + sum(item.size for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareRange:
+    """Phase 1a for all instances >= ``from_instance`` (coordinator change)."""
+
+    from_instance: int
+    rnd: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class CoordinatorChange:
+    """Announcement of a reconfigured ring: new layout and round.
+
+    Multicast on the ring's group so learners re-target their repair
+    requests; also delivered to proposers so submissions follow the new
+    coordinator (the last acceptor in ``acceptors``).
+    """
+
+    ring_id: int
+    acceptors: tuple[str, ...]
+    rnd: int
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + 16 * len(self.acceptors)
+
+
+@dataclass(frozen=True, slots=True)
+class PromiseRange:
+    """Phase 1b for a range: every accepted (instance, vrnd, item) above it."""
+
+    from_instance: int
+    rnd: int
+    accepted: tuple[tuple[int, int, DataBatch | SkipRange], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + sum(item.size for _, _, item in self.accepted)

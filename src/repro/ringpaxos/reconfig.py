@@ -1,0 +1,157 @@
+"""Ring reconfiguration: failure detection and coordinator takeover.
+
+Paper, Section IV-C: Ring Paxos keeps only f+1 acceptors in the ring; the
+remaining acceptors are spares (shared across rings, as in Cheap Paxos).
+When an acceptor is suspected, the ring is reconfigured — the suspect is
+excluded, a spare is included — and until then, learners of this ring
+cannot deliver.
+
+:class:`RingFailover` implements the coordinator-failure case end to end:
+
+* every non-coordinator acceptor watches the coordinator's multicast
+  liveness (heartbeats double as failure-detector input);
+* on suspicion, the lowest-indexed surviving acceptor promotes itself:
+  it retires its old data path, lays the new ring out as
+  ``[spare, other survivors..., itself]``, and runs Phase 1 over all
+  instances with a round it owns (see
+  :meth:`~repro.ringpaxos.coordinator.RingCoordinator.begin_takeover`);
+* safety: a decision required accepts from all f+1 in-ring acceptors, and
+  the takeover quorum (initiator + majority-completing members) intersects
+  every such quorum in at least one surviving acceptor, so every possibly
+  decided value is recovered and re-proposed under the higher round;
+* the new coordinator announces a :class:`CoordinatorChange` on the
+  ring's multicast group (learners and surviving acceptors re-chain), and
+  this orchestrator — standing in for the deployment's configuration
+  service — re-targets proposers and re-seeds the skip manager so that
+  the instances "missed" by learners during the outage are topped up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..paxos.ballot import next_round
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.simulator import Simulator
+from .acceptor import RingAcceptor
+from .config import RingConfig
+from .coordinator import RingCoordinator
+
+__all__ = ["RingFailover"]
+
+
+class RingFailover:
+    """Automated coordinator failover for one ring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: RingConfig,
+        acceptors: list[RingAcceptor],
+        spare_nodes: list[Node],
+        suspect_timeout: float = 0.05,
+        on_new_coordinator: Callable[[RingCoordinator], None] | None = None,
+    ) -> None:
+        if not acceptors:
+            raise ConfigurationError("failover needs at least one non-coordinator acceptor")
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.acceptors = list(acceptors)
+        self.spare_nodes = list(spare_nodes)
+        self.suspect_timeout = suspect_timeout
+        self.on_new_coordinator = on_new_coordinator
+        self.new_coordinator: RingCoordinator | None = None
+        self.takeovers = 0
+        self.last_rnd = 0
+        # The total acceptor universe (in-ring + spares) defines majority.
+        self.total_acceptors = config.ring_size + len(self.spare_nodes)
+        self._in_progress = False
+        for acceptor in self.acceptors:
+            acceptor.watch_coordinator(suspect_timeout, self._on_suspect)
+
+    @property
+    def majority(self) -> int:
+        """Majority of the total acceptor universe (in-ring + spares)."""
+        return self.total_acceptors // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Takeover
+    # ------------------------------------------------------------------
+    def _on_suspect(self, suspecting: RingAcceptor) -> None:
+        if self._in_progress or suspecting.crashed:
+            return
+        self._in_progress = True
+        self.takeovers += 1
+        survivors = [a for a in self.acceptors if not a.crashed and a.node.up]
+        if suspecting not in survivors:
+            survivors.append(suspecting)
+        # Deterministic initiator: the lowest-indexed survivor. (The first
+        # suspicion usually comes from it anyway; if another acceptor's
+        # timer fired first, defer to the canonical choice.)
+        initiator = min(survivors, key=lambda a: a.index)
+        others = [a for a in survivors if a is not initiator]
+
+        spare_acceptor = None
+        new_order: list[str] = []
+        spare_node = None
+        if self.spare_nodes:
+            spare_node = self.spare_nodes.pop(0)
+            new_order.append(spare_node.name)
+        new_order.extend(a.node.name for a in others)
+        new_order.append(initiator.node.name)
+        new_config = dataclasses.replace(self.config, acceptors=new_order)
+
+        if spare_node is not None:
+            # Instantiate the spare's acceptor role with the new layout
+            # (the JoinRing step of a real deployment).
+            spare_acceptor = RingAcceptor(self.sim, self.network, spare_node, new_config)
+        for acceptor in others:
+            acceptor.stop_watching()
+            acceptor.adopt(new_config)
+        initiator.retire()
+
+        # Strictly above every round any earlier coordinator of this ring
+        # used (the orchestrator serialises takeovers, so tracking the
+        # highest installed round suffices for uniqueness).
+        rnd = next_round(self.last_rnd, self._universe_index(initiator), self.total_acceptors)
+        self.last_rnd = rnd
+        coordinator = RingCoordinator(
+            self.sim, self.network, initiator.node, new_config, rnd=rnd
+        )
+        self.new_coordinator = coordinator
+        if spare_acceptor is not None:
+            self.acceptors.append(spare_acceptor)
+        local = initiator.local_promise(0, rnd)
+        promises_needed = max(0, self.majority - 1)
+        coordinator.begin_takeover(local, promises_needed, on_recovered=self._recovered)
+
+    def _recovered(self, coordinator: RingCoordinator) -> None:
+        self._in_progress = False
+        self.config = coordinator.config
+        # Re-arm failure detection on the new ring's member acceptors so
+        # a later failure of the new coordinator can also be handled
+        # (while spares remain).
+        for acceptor in self.acceptors:
+            if (
+                not acceptor.crashed
+                and not acceptor.retired
+                and acceptor.node.name in coordinator.config.acceptors[:-1]
+            ):
+                acceptor.watch_coordinator(self.suspect_timeout, self._on_suspect)
+        if self.on_new_coordinator is not None:
+            self.on_new_coordinator(coordinator)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _node_by_name(self, name: str) -> Node:
+        return self.network.node(name)
+
+    def _universe_index(self, acceptor: RingAcceptor) -> int:
+        """A stable ballot-owner index for ``acceptor`` in the universe."""
+        return acceptor.index % self.total_acceptors

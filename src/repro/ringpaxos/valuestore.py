@@ -1,0 +1,64 @@
+"""Value store: the ID -> client-values map kept by acceptors and learners.
+
+Ring Paxos executes consensus on value IDs; the real values travel once in
+the Phase 2A ip-multicast and are remembered here. The additional acceptor
+safety check of Section III-B — "to accept a Phase 2 message, the acceptor
+must know the client value associated with the ID" — is a lookup in this
+store. Entries are garbage-collected once their instance is decided and
+delivered (learners) or once a horizon of decided instances passes
+(acceptors).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .messages import DataBatch, SkipRange
+
+__all__ = ["ValueStore"]
+
+
+class ValueStore:
+    """Bounded map from value id to the proposed item.
+
+    Eviction is FIFO on insertion order (value ids are assigned
+    monotonically by the coordinator, so FIFO == oldest-id-first) and
+    amortised O(1) — this store sits on the acceptors' hot path.
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        self.max_entries = max_entries
+        self._items: dict[int, DataBatch | SkipRange] = {}
+        self._insertion_order: deque[int] = deque()
+        self.stored = 0
+        self.evicted = 0
+
+    def __contains__(self, value_id: int) -> bool:
+        return value_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, value_id: int, item: DataBatch | SkipRange) -> None:
+        """Remember ``item`` under ``value_id`` (idempotent)."""
+        if value_id not in self._items:
+            self._items[value_id] = item
+            self._insertion_order.append(value_id)
+            self.stored += 1
+            while len(self._items) > self.max_entries and self._insertion_order:
+                oldest = self._insertion_order.popleft()
+                if oldest in self._items:
+                    del self._items[oldest]
+                    self.evicted += 1
+
+    def get(self, value_id: int) -> DataBatch | SkipRange | None:
+        """The item for ``value_id``, or None if unknown/evicted."""
+        return self._items.get(value_id)
+
+    def forget(self, value_id: int) -> None:
+        """Drop ``value_id`` once its instance is decided and consumed.
+
+        The insertion-order queue keeps a stale entry; eviction skips it
+        lazily (the idempotent ``in`` check above).
+        """
+        self._items.pop(value_id, None)

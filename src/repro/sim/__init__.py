@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package stands in for the paper's physical testbed: it provides the
+clock, machines (CPU + disk), and the switched network (unicast and IP
+multicast) that the Paxos, Ring Paxos, and Multi-Ring Paxos protocol
+implementations run on. See DESIGN.md section 1 for the substitution
+rationale.
+"""
+
+from .cpu import Cpu
+from .disk import Disk
+from .events import Event, EventQueue
+from .faults import FaultSchedule, NetworkPartition
+from .loss import BurstLoss, LossModel, NoLoss, UniformLoss
+from .network import Network, Nic
+from .node import Node
+from .process import PeriodicTimer, Process, Timer
+from .rng import RandomStreams
+from .server import FifoServer
+from .simulator import Simulator
+from .trace import TraceEvent, Tracer, trace_network
+
+__all__ = [
+    "BurstLoss",
+    "Cpu",
+    "Disk",
+    "Event",
+    "EventQueue",
+    "FaultSchedule",
+    "FifoServer",
+    "LossModel",
+    "Network",
+    "NetworkPartition",
+    "Nic",
+    "NoLoss",
+    "Node",
+    "PeriodicTimer",
+    "Process",
+    "RandomStreams",
+    "Simulator",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "UniformLoss",
+    "trace_network",
+]

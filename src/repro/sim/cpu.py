@@ -1,0 +1,46 @@
+"""CPU model.
+
+Each simulated node owns one :class:`Cpu`: a FIFO server whose rate is
+expressed in "processing-seconds per second" (1.0 = one saturated core;
+the paper's coordinator is effectively single-threaded on its hot path).
+Protocol code charges explicit costs — per message and per byte — when it
+handles traffic; the calibration constants live in ``repro.calibration``.
+
+The CPU percentages reported in the paper's figures (e.g. the 97.6% at the
+In-memory Ring Paxos knee in Figure 1) map to :meth:`Cpu.utilization`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .server import FifoServer
+from .simulator import Simulator
+
+__all__ = ["Cpu"]
+
+
+class Cpu(FifoServer):
+    """A node's processor, measured in processing-seconds of demand.
+
+    ``submit(cost, fn)`` runs ``fn`` once the processor has spent ``cost``
+    seconds of compute on it, after all previously queued work.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = 1.0,
+        name: str = "cpu",
+        history_window: float = 30.0,
+    ) -> None:
+        super().__init__(sim, rate=capacity, name=name, history_window=history_window)
+
+    @property
+    def capacity(self) -> float:
+        """Processing-seconds deliverable per simulated second."""
+        return self.rate
+
+    def execute(self, cost: float, fn: Callable[..., None], *args: Any) -> float:
+        """Charge ``cost`` processor-seconds, then run ``fn(*args)``."""
+        return self.submit(cost, fn, *args)

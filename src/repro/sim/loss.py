@@ -1,0 +1,70 @@
+"""Message-loss models for the simulated network.
+
+The paper's model (Section II-A) allows messages to be lost but not
+corrupted. Losses are applied independently per receiver — matching UDP
+ip-multicast, where each subscriber's NIC may drop a datagram the others
+receive — which is what exercises Ring Paxos's learner recovery path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+__all__ = ["LossModel", "NoLoss", "UniformLoss", "BurstLoss"]
+
+
+class LossModel(Protocol):
+    """Decides, per (src, dst, size) transmission leg, whether to drop."""
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
+        """Return True to drop this copy of the message."""
+        ...  # pragma: no cover - protocol definition
+
+
+class NoLoss:
+    """The default: a reliable network (losses disabled)."""
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
+        return False
+
+
+class UniformLoss:
+    """Drop each receiver-leg independently with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("loss probability must be within [0, 1]")
+        self.p = p
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
+        return rng.random() < self.p
+
+
+class BurstLoss:
+    """Gilbert-Elliott style bursty loss.
+
+    Two states per (src, dst) pair: GOOD (no loss) and BAD (all loss).
+    Transitions happen per transmission with the given probabilities. This
+    models switch-buffer overruns, which drop runs of consecutive packets —
+    the worst case for gap-detection-based recovery.
+    """
+
+    def __init__(self, p_enter_bad: float = 0.001, p_exit_bad: float = 0.3) -> None:
+        if not 0.0 <= p_enter_bad <= 1.0 or not 0.0 <= p_exit_bad <= 1.0:
+            raise ValueError("transition probabilities must be within [0, 1]")
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self._bad: set[tuple[str, str]] = set()
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
+        key = (src, dst)
+        if key in self._bad:
+            if rng.random() < self.p_exit_bad:
+                self._bad.discard(key)
+                return False
+            return True
+        if rng.random() < self.p_enter_bad:
+            self._bad.add(key)
+            return True
+        return False

@@ -1,0 +1,200 @@
+"""Switched-Ethernet network model with unicast and IP multicast.
+
+Models the paper's testbed fabric: servers on a non-blocking Gigabit
+switch (HP ProCurve, 0.1 ms RTT). Each node has a full-duplex NIC; the
+switch itself is non-blocking, so contention happens only at NIC egress
+and ingress queues — which is the regime in which Ring Paxos's single
+ip-multicast per value is cheap and a learner subscribing to many rings
+eventually saturates its own ingress link (Figure 6).
+
+Transmission of a message of ``size`` bytes from ``src`` to ``dst``:
+
+1. serialize at ``src`` egress (FIFO at the NIC bandwidth),
+2. propagate through the switch (fixed one-way delay),
+3. serialize at ``dst`` ingress (FIFO at the NIC bandwidth),
+4. hand to the destination :class:`~repro.sim.node.Node` port.
+
+An ip-multicast pays step 1 **once** and steps 2-4 per subscriber: the
+switch replicates the frame in hardware. That asymmetry is the entire
+reason Ring Paxos out-throughputs sender-replicated protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import NetworkError
+from .loss import LossModel, NoLoss
+from .node import Node
+from .server import FifoServer
+from .simulator import Simulator
+
+__all__ = ["Nic", "Network"]
+
+
+class Nic:
+    """Full-duplex network interface: an egress and an ingress queue."""
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float) -> None:
+        self.name = name
+        self.bandwidth = bandwidth
+        self.egress = FifoServer(sim, rate=bandwidth, name=f"{name}.tx")
+        self.ingress = FifoServer(sim, rate=bandwidth, name=f"{name}.rx")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def ingress_utilization(self, window: float = 1.0) -> float:
+        """Fraction of the last ``window`` seconds the receive link was busy."""
+        return self.ingress.utilization(window)
+
+    def egress_utilization(self, window: float = 1.0) -> float:
+        """Fraction of the last ``window`` seconds the transmit link was busy."""
+        return self.egress.utilization(window)
+
+
+class Network:
+    """The cluster fabric: nodes, their NICs, and multicast groups.
+
+    Parameters
+    ----------
+    propagation_delay:
+        One-way switch latency in seconds (default 50 us, i.e. the paper's
+        0.1 ms RTT).
+    bandwidth:
+        Default NIC bandwidth in bytes per second (default 1 Gbps).
+    loss:
+        A :class:`~repro.sim.loss.LossModel`; losses are evaluated
+        independently per receiver leg.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation_delay: float = 50e-6,
+        bandwidth: float = 1e9 / 8,
+        loss: LossModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.propagation_delay = propagation_delay
+        self.default_bandwidth = bandwidth
+        self.loss = loss if loss is not None else NoLoss()
+        self._rng = sim.random.get("network.loss")
+        self.nodes: dict[str, Node] = {}
+        self.nics: dict[str, Nic] = {}
+        self._groups: dict[str, list[str]] = {}
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, bandwidth: float | None = None) -> Node:
+        """Attach ``node`` to the switch with its own NIC."""
+        if node.name in self.nodes:
+            raise NetworkError(f"node {node.name!r} already attached")
+        self.nodes[node.name] = node
+        self.nics[node.name] = Nic(
+            self.sim, node.name, bandwidth if bandwidth is not None else self.default_bandwidth
+        )
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up an attached node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def nic(self, name: str) -> Nic:
+        """Look up a node's NIC by node name."""
+        try:
+            return self.nics[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Multicast groups
+    # ------------------------------------------------------------------
+    def join(self, group: str, node_name: str) -> None:
+        """Subscribe ``node_name`` to multicast ``group`` (idempotent)."""
+        if node_name not in self.nodes:
+            raise NetworkError(f"unknown node {node_name!r}")
+        members = self._groups.setdefault(group, [])
+        if node_name not in members:
+            members.append(node_name)
+
+    def leave(self, group: str, node_name: str) -> None:
+        """Unsubscribe ``node_name`` from ``group`` (idempotent)."""
+        members = self._groups.get(group, [])
+        if node_name in members:
+            members.remove(node_name)
+
+    def members(self, group: str) -> list[str]:
+        """Current subscribers of ``group`` (copy)."""
+        return list(self._groups.get(group, []))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, port: str, msg: Any, size: int) -> None:
+        """Unicast ``msg`` (``size`` bytes) from ``src`` to ``dst``."""
+        self._require_known(src)
+        self._require_known(dst)
+        if not self.nodes[src].up:
+            return  # a crashed machine transmits nothing
+        depart = self.nics[src].egress.submit(float(size))
+        self.nics[src].bytes_sent += size
+        self.nics[src].messages_sent += 1
+        self._propagate(depart, src, dst, port, msg, size)
+
+    def multicast(self, src: str, group: str, port: str, msg: Any, size: int) -> None:
+        """IP-multicast ``msg`` to every subscriber of ``group``.
+
+        The sender serializes the frame once; the switch fans it out to
+        each subscriber (including the sender itself if subscribed, with
+        loopback skipping the physical ingress queue).
+        """
+        self._require_known(src)
+        if not self.nodes[src].up:
+            return
+        members = self._groups.get(group, [])
+        if not members:
+            return
+        depart = self.nics[src].egress.submit(float(size))
+        self.nics[src].bytes_sent += size
+        self.nics[src].messages_sent += 1
+        for dst in members:
+            if dst == src:
+                # Kernel loopback: no switch hop, no ingress serialization.
+                self.sim.at(depart, self._deliver, dst, port, src, msg, 0)
+            else:
+                self._propagate(depart, src, dst, port, msg, size)
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    def _propagate(self, depart: float, src: str, dst: str, port: str, msg: Any, size: int) -> None:
+        if self.loss.should_drop(self._rng, src, dst, size):
+            self.messages_dropped += 1
+            return
+        arrival = depart + self.propagation_delay
+        self.sim.at(arrival, self._deliver, dst, port, src, msg, size)
+
+    def _deliver(self, dst: str, port: str, src: str, msg: Any, size: int) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.up:
+            return
+        nic = self.nics[dst]
+        if size > 0:
+            done = nic.ingress.submit(float(size))
+            nic.bytes_received += size
+            nic.messages_received += 1
+            self.sim.at(done, node.deliver, port, src, msg)
+        else:
+            nic.messages_received += 1
+            node.deliver(port, src, msg)
+
+    def _require_known(self, name: str) -> None:
+        if name not in self.nodes:
+            raise NetworkError(f"unknown node {name!r}")

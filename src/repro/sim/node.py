@@ -1,0 +1,90 @@
+"""Simulated machines.
+
+A :class:`Node` is one physical server of the paper's cluster: it owns a
+CPU, optionally a disk (Recoverable acceptors), and a table of *ports* —
+named mailboxes that protocol actors register handlers on. Ports are what
+let several protocol roles (an acceptor of ring 0, a learner of rings 0
+and 1, a client...) share one machine, exactly as the paper co-locates
+roles on its 24 servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .cpu import Cpu
+from .disk import Disk
+from .simulator import Simulator
+
+__all__ = ["Node"]
+
+Handler = Callable[[str, Any], None]
+
+
+class Node:
+    """One simulated server.
+
+    Parameters
+    ----------
+    cpu_capacity:
+        Processing-seconds per second (1.0 = one saturated core).
+    disk_bandwidth:
+        If given, the node gets a :class:`Disk` with this sustained
+        bandwidth (bytes/second); otherwise ``node.disk`` is None.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_capacity: float = 1.0,
+        disk_bandwidth: float | None = None,
+        disk_buffer_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpu = Cpu(sim, capacity=cpu_capacity, name=f"{name}.cpu")
+        self.disk: Disk | None = None
+        if disk_bandwidth is not None:
+            self.disk = Disk(
+                sim,
+                bandwidth=disk_bandwidth,
+                buffer_bytes=disk_buffer_bytes,
+                name=f"{name}.disk",
+            )
+        self.up = True
+        self._handlers: dict[str, Handler] = {}
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def register(self, port: str, handler: Handler) -> None:
+        """Attach ``handler(src, msg)`` to ``port`` (replacing any previous)."""
+        self._handlers[port] = handler
+
+    def unregister(self, port: str) -> None:
+        """Detach the handler on ``port`` if any (idempotent)."""
+        self._handlers.pop(port, None)
+
+    def deliver(self, port: str, src: str, msg: Any) -> None:
+        """Dispatch an arriving message; silently dropped if down/unbound."""
+        if not self.up:
+            return
+        handler = self._handlers.get(port)
+        if handler is not None:
+            handler(src, msg)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the machine down: all arriving traffic is dropped."""
+        self.up = False
+
+    def restart(self) -> None:
+        """Bring the machine back up (handlers stay registered)."""
+        self.up = True
+
+    def __repr__(self) -> str:
+        status = "up" if self.up else "down"
+        return f"<Node {self.name} ({status})>"

@@ -1,0 +1,141 @@
+"""Actor and timer conveniences built on the simulation kernel.
+
+Protocol roles (coordinators, acceptors, learners, clients) are written as
+event-driven actors: subclasses of :class:`Process` that react to message
+and timer callbacks. :class:`Timer` wraps the schedule/cancel/restart dance
+that periodic protocol tasks (batch timeouts, skip-interval sampling,
+failure detection) all need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .events import Event
+from .simulator import Simulator
+
+__all__ = ["Process", "Timer", "PeriodicTimer"]
+
+
+class Process:
+    """Base class for simulated actors.
+
+    A process has a reference to the simulator and a name used in traces
+    and metrics. It offers ``call_later`` sugar over ``sim.schedule``.
+    Crash semantics: once :meth:`crash` is called, scheduled callbacks
+    wrapped through ``call_later`` become no-ops; :meth:`restart` re-enables
+    them. Subclasses that hold timers should override :meth:`on_crash` to
+    stop them.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.crashed = False
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay``; suppressed if crashed."""
+        return self.sim.schedule(delay, self._guarded, fn, args)
+
+    def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
+        if not self.crashed:
+            fn(*args)
+
+    def crash(self) -> None:
+        """Crash the process: pending and future guarded callbacks no-op."""
+        if not self.crashed:
+            self.crashed = True
+            self.on_crash()
+
+    def restart(self) -> None:
+        """Bring the process back; subclasses re-arm timers in on_restart."""
+        if self.crashed:
+            self.crashed = False
+            self.on_restart()
+
+    def on_crash(self) -> None:  # pragma: no cover - default is a no-op hook
+        """Hook invoked when the process crashes."""
+
+    def on_restart(self) -> None:  # pragma: no cover - default is a no-op hook
+        """Hook invoked when the process restarts."""
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.name} ({status})>"
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> t = Timer(sim, 0.5, lambda: fired.append(sim.now))
+    >>> t.start(); sim.run(until=1.0); fired
+    [0.5]
+    """
+
+    def __init__(self, sim: Simulator, delay: float, fn: Callable[[], None]) -> None:
+        self.sim = sim
+        self.delay = delay
+        self.fn = fn
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently scheduled to fire."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float | None = None) -> None:
+        """Arm the timer (restarting it if already armed)."""
+        self.stop()
+        self._event = self.sim.schedule(self.delay if delay is None else delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed (idempotent)."""
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fn()
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself every ``period`` until stopped.
+
+    The callback runs at ``start_time + k * period`` for k = 1, 2, ... —
+    drift-free, because each firing is scheduled from the previous ideal
+    firing time rather than from "now".
+    """
+
+    def __init__(self, sim: Simulator, period: float, fn: Callable[[], None]) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self._event: Event | None = None
+        self._next_time = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the periodic timer is active."""
+        return self._event is not None
+
+    def start(self) -> None:
+        """Begin firing every ``period`` seconds from now."""
+        self.stop()
+        self._next_time = self.sim.now + self.period
+        self._event = self.sim.at(self._next_time, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing (idempotent)."""
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._next_time += self.period
+        self._event = self.sim.at(self._next_time, self._fire)
+        self.fn()

@@ -1,0 +1,120 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a simulated clock and an event queue. Components
+schedule callbacks at future simulated times; :meth:`Simulator.run` pops
+events in time order, advancing the clock instantaneously between them.
+There is no wall-clock anywhere in the library: simulated seconds are the
+only notion of time, which is what makes throughput/latency experiments
+reproducible and hardware-independent (see DESIGN.md, substitution rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .events import Event, EventQueue
+from .rng import RandomStreams
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams (see :class:`RandomStreams`).
+
+    Example
+    -------
+    >>> sim = Simulator(seed=7)
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run(until=2.0)
+    >>> (sim.now, fired)
+    (2.0, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.random = RandomStreams(seed)
+        self._queue = EventQueue()
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self._queue.push(self.now + delay, fn, args)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock is already at t={self.now!r}"
+            )
+        return self._queue.push(time, fn, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue produced an event in the past")
+        self.now = event.time
+        self._events_executed += 1
+        event.fire()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue empties, ``until`` passes, or the budget.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        on return (even if the last event fired earlier), so back-to-back
+        ``run(until=...)`` calls partition simulated time cleanly.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            exhausted = True
+            while True:
+                if max_events is not None and executed >= max_events:
+                    exhausted = False  # stopped by budget: events remain
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+            if exhausted and until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events currently queued."""
+        return len(self._queue)

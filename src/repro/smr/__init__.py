@@ -1,0 +1,26 @@
+"""Partitioned state-machine replication over atomic multicast.
+
+The scalable service of the paper's Section II-C: a key-value database
+split into range partitions, each replicated with state-machine
+replication, with atomic multicast routing single-partition requests to
+one group and cross-partition range queries to g_all.
+"""
+
+from .client import SmrClient
+from .kvstore import KeyValueStore
+from .partitioning import RangePartitioner
+from .queueservice import QueueService
+from .replica import Replica, Response
+from .statemachine import Command, DummyService, StateMachine
+
+__all__ = [
+    "Command",
+    "DummyService",
+    "KeyValueStore",
+    "QueueService",
+    "RangePartitioner",
+    "Replica",
+    "Response",
+    "SmrClient",
+    "StateMachine",
+]

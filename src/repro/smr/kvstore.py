@@ -1,0 +1,97 @@
+"""The replicated key-value database of the paper's Section II-C.
+
+Requests: ``insert(k)``, ``delete(k)`` — single key — and
+``query(kmin, kmax)`` — every stored key in the closed range. This is the
+service the paper uses to motivate partitioning: single-key requests go to
+one partition; range queries go to one partition when the range fits,
+otherwise to all (replicas whose range does not intersect simply discard).
+
+Keys are kept in a sorted list (stdlib ``bisect``): O(log n) point ops,
+O(log n + k) range scans — deterministic, as state machines must be.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from .statemachine import Command
+
+__all__ = ["KeyValueStore"]
+
+
+class KeyValueStore:
+    """A deterministic ordered-key store usable as a replica state machine.
+
+    ``per_op_cost`` / ``per_result_cost`` model execution time charged on
+    the replica's CPU; zero by default so ordering-layer experiments are
+    not perturbed.
+    """
+
+    def __init__(self, per_op_cost: float = 0.0, per_result_cost: float = 0.0) -> None:
+        self.per_op_cost = per_op_cost
+        self.per_result_cost = per_result_cost
+        self._keys: list[int] = []
+        self.inserts = 0
+        self.deletes = 0
+        self.queries = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: int) -> bool:
+        idx = bisect.bisect_left(self._keys, key)
+        return idx < len(self._keys) and self._keys[idx] == key
+
+    # ------------------------------------------------------------------
+    # StateMachine interface
+    # ------------------------------------------------------------------
+    def apply(self, command: Command):
+        """Execute one command; returns the operation's result."""
+        if command.op == "insert":
+            return self.insert(command.args[0])
+        if command.op == "delete":
+            return self.delete(command.args[0])
+        if command.op == "query":
+            kmin, kmax = command.args
+            return self.query(kmin, kmax)
+        raise ValueError(f"unknown operation {command.op!r}")
+
+    def execution_cost(self, command: Command) -> float:
+        cost = self.per_op_cost
+        if command.op == "query" and self.per_result_cost:
+            kmin, kmax = command.args
+            cost += self.per_result_cost * self._range_size(kmin, kmax)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> bool:
+        """Add ``key``; returns False if it was already present."""
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return False
+        self._keys.insert(idx, key)
+        self.inserts += 1
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False if it was absent."""
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            del self._keys[idx]
+            self.deletes += 1
+            return True
+        return False
+
+    def query(self, kmin: int, kmax: int) -> list[int]:
+        """All stored keys k with kmin <= k <= kmax, ascending."""
+        self.queries += 1
+        lo = bisect.bisect_left(self._keys, kmin)
+        hi = bisect.bisect_right(self._keys, kmax)
+        return self._keys[lo:hi]
+
+    def _range_size(self, kmin: int, kmax: int) -> int:
+        lo = bisect.bisect_left(self._keys, kmin)
+        hi = bisect.bisect_right(self._keys, kmax)
+        return hi - lo

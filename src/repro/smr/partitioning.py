@@ -1,0 +1,82 @@
+"""Key-range partitioning and the partition -> group convention.
+
+The paper's partitioned deployment (Section II-C): partition P_i owns a
+contiguous range of the key space; atomic-multicast group g_i carries
+P_i's single-partition requests and group g_all carries requests that
+concern every partition (range queries that span partitions). Each replica
+of P_i subscribes to {g_i, g_all}.
+
+The convention here: groups 0..P-1 are the partition groups, group P is
+g_all — so a P-partition service needs a MultiRingConfig with P+1 groups.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["RangePartitioner"]
+
+
+class RangePartitioner:
+    """Splits the key space [0, key_space) into equal contiguous ranges."""
+
+    def __init__(self, n_partitions: int, key_space: int = 1 << 20) -> None:
+        if n_partitions < 1:
+            raise ConfigurationError("need at least one partition")
+        if key_space < n_partitions:
+            raise ConfigurationError("key space smaller than partition count")
+        self.n_partitions = n_partitions
+        self.key_space = key_space
+
+    @property
+    def all_group(self) -> int:
+        """The group id addressing every partition (g_all)."""
+        return self.n_partitions
+
+    @property
+    def n_groups(self) -> int:
+        """Total groups the deployment needs (one per partition + g_all)."""
+        return self.n_partitions + 1
+
+    def partition_of(self, key: int) -> int:
+        """The partition owning ``key``."""
+        if not 0 <= key < self.key_space:
+            raise ConfigurationError(f"key {key} outside key space")
+        return key * self.n_partitions // self.key_space
+
+    def group_of_key(self, key: int) -> int:
+        """The multicast group for a single-key request on ``key``."""
+        return self.partition_of(key)
+
+    def group_of_range(self, kmin: int, kmax: int) -> int:
+        """Group for query(kmin, kmax): the partition's group if the range
+        fits inside one partition, g_all otherwise (paper, Section II-C)."""
+        if kmin > kmax:
+            raise ConfigurationError("empty range")
+        if self.partition_of(kmin) == self.partition_of(kmax):
+            return self.partition_of(kmin)
+        return self.all_group
+
+    def range_of_partition(self, partition: int) -> tuple[int, int]:
+        """The [lo, hi) key range owned by ``partition``.
+
+        The boundaries are the exact preimage of :meth:`partition_of`
+        (ceil-division), so every key maps into its partition's range even
+        when the key space does not divide evenly.
+        """
+        if not 0 <= partition < self.n_partitions:
+            raise ConfigurationError(f"unknown partition {partition}")
+        lo = -(-partition * self.key_space // self.n_partitions)
+        hi = -(-(partition + 1) * self.key_space // self.n_partitions)
+        return lo, hi
+
+    def groups_for_replica(self, partition: int) -> list[int]:
+        """Groups a replica of ``partition`` subscribes to: {g_i, g_all}."""
+        if not 0 <= partition < self.n_partitions:
+            raise ConfigurationError(f"unknown partition {partition}")
+        return [partition, self.all_group]
+
+    def intersects(self, partition: int, kmin: int, kmax: int) -> bool:
+        """Whether query(kmin, kmax) overlaps ``partition``'s range."""
+        lo, hi = self.range_of_partition(partition)
+        return kmin < hi and kmax >= lo

@@ -1,0 +1,129 @@
+"""Replicas: state machines fed by the atomic multicast layer.
+
+A :class:`Replica` owns one state-machine instance for one partition. It
+subscribes (through a :class:`~repro.core.learner.MultiRingLearner`) to
+its partition's group and to g_all, executes delivered commands in merge
+order, discards range queries that do not intersect its key range, and
+unicasts responses back to clients. Execution charges the replica node's
+CPU with the state machine's declared cost — when executing requests is
+more expensive than ordering them, the replica CPU becomes the bottleneck,
+which is the regime partitioning exists to fix (paper, Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..calibration import CONTROL_MESSAGE_SIZE, CPU_FIXED_COST_SMALL_MESSAGE
+from ..core.deployment import MultiRingPaxos
+from ..metrics import Counter
+from ..ringpaxos.messages import ClientValue
+from ..sim.node import Node
+from ..sim.process import Process
+from .partitioning import RangePartitioner
+from .statemachine import Command, StateMachine
+
+__all__ = ["Response", "Replica"]
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """A replica's answer to a client request."""
+
+    req_id: int
+    replica: str
+    partition: int
+    result: Any
+
+    @property
+    def size(self) -> int:
+        if isinstance(self.result, list):
+            return CONTROL_MESSAGE_SIZE + 8 * len(self.result)
+        return CONTROL_MESSAGE_SIZE
+
+
+class Replica(Process):
+    """One replica of one partition of the replicated service."""
+
+    def __init__(
+        self,
+        mrp: MultiRingPaxos,
+        partitioner: RangePartitioner,
+        partition: int,
+        state_machine: StateMachine,
+        name: str | None = None,
+        respond: bool = True,
+    ) -> None:
+        if name is None:
+            name = f"replica-p{partition}"
+        self.mrp = mrp
+        self.partitioner = partitioner
+        self.partition = partition
+        self.state_machine = state_machine
+        self.respond = respond
+        self.executed = Counter("executed")
+        self.discarded = Counter("discarded")
+        self.learner = mrp.add_learner(
+            groups=partitioner.groups_for_replica(partition),
+            on_deliver=self._on_deliver,
+            name=name,
+        )
+        super().__init__(mrp.sim, f"replica@{self.learner.node.name}")
+        self.network = mrp.network
+
+    @property
+    def node(self) -> Node:
+        """The machine this replica runs on."""
+        return self.learner.node
+
+    # ------------------------------------------------------------------
+    # Delivery -> execution
+    # ------------------------------------------------------------------
+    def _on_deliver(self, group: int, value: ClientValue) -> None:
+        if self.crashed:
+            return
+        command = value.payload
+        if not isinstance(command, Command):
+            return
+        if command.op == "query" and not self._concerns_me(command):
+            # A replica that delivers a query whose range does not fall
+            # within its partition simply discards it (Section II-C).
+            self.discarded.inc()
+            return
+        cost = self.state_machine.execution_cost(command) + CPU_FIXED_COST_SMALL_MESSAGE
+        self.node.cpu.execute(cost, self._execute, command)
+
+    def _concerns_me(self, command: Command) -> bool:
+        kmin, kmax = command.args
+        return self.partitioner.intersects(self.partition, kmin, kmax)
+
+    def _execute(self, command: Command) -> None:
+        if self.crashed:
+            return
+        result = self.state_machine.apply(self._clip(command))
+        self.executed.inc()
+        if self.respond and command.client:
+            response = Response(
+                req_id=command.req_id,
+                replica=self.node.name,
+                partition=self.partition,
+                result=result,
+            )
+            self.network.send(
+                self.node.name, command.client, "smr.client", response, response.size
+            )
+
+    def _clip(self, command: Command) -> Command:
+        """Clip a multi-partition range query to this replica's range."""
+        if command.op != "query":
+            return command
+        kmin, kmax = command.args
+        lo, hi = self.partitioner.range_of_partition(self.partition)
+        return Command(
+            op="query",
+            args=(max(kmin, lo), min(kmax, hi - 1)),
+            client=command.client,
+            req_id=command.req_id,
+            padding=command.padding,
+        )

@@ -1,0 +1,29 @@
+"""Workload generation: offered-rate schedules and load generators."""
+
+from .generator import ClosedLoopGenerator, OpenLoopGenerator, ThrottledGenerator
+from .replay import TraceRecord, TraceRecorder, TraceReplayer, dump_trace, load_trace
+from .rates import (
+    ConstantRate,
+    ModulatedRate,
+    OscillatingRate,
+    RateSchedule,
+    ScaledRate,
+    StepRate,
+)
+
+__all__ = [
+    "ClosedLoopGenerator",
+    "ConstantRate",
+    "ModulatedRate",
+    "OpenLoopGenerator",
+    "OscillatingRate",
+    "RateSchedule",
+    "ScaledRate",
+    "StepRate",
+    "ThrottledGenerator",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "dump_trace",
+    "load_trace",
+]

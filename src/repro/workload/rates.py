@@ -1,0 +1,128 @@
+"""Offered-load schedules for the evaluation's workloads.
+
+The λ experiments drive proposers with three shapes (Sections VI-E):
+constant equal rates stepped up every 20 seconds (Figure 9), constant
+2:1-skewed rates (Figure 10), and oscillating rates with a 2:1 average
+skew (Figure 11). All are expressible as a :class:`RateSchedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+__all__ = [
+    "RateSchedule",
+    "ConstantRate",
+    "StepRate",
+    "OscillatingRate",
+    "ScaledRate",
+    "ModulatedRate",
+]
+
+
+class RateSchedule(Protocol):
+    """Messages per second as a function of simulated time."""
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate (msg/s) at time ``t``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ConstantRate:
+    """A fixed rate forever."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+
+class StepRate:
+    """Piecewise-constant rate: ``steps`` is [(start_time, rate), ...].
+
+    Used for the "increase the multicast rate every 20 seconds" pattern of
+    Figures 9-11. Times must be ascending; rate before the first step is 0.
+    """
+
+    def __init__(self, steps: list[tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ValueError("step times must be ascending")
+        if any(r < 0 for _, r in steps):
+            raise ValueError("rates must be non-negative")
+        self.steps = list(steps)
+
+    def rate_at(self, t: float) -> float:
+        rate = 0.0
+        for start, step_rate in self.steps:
+            if t >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+
+class OscillatingRate:
+    """A rate oscillating sinusoidally around ``base``.
+
+    ``rate(t) = base * (1 + amplitude * sin(2π t / period))``, clamped at
+    zero. The time average equals ``base``, matching Figure 11's setup
+    where oscillating rates average to the constant rates of Figure 10.
+    """
+
+    def __init__(self, base: float, amplitude: float = 0.5, period: float = 10.0) -> None:
+        if base < 0 or period <= 0:
+            raise ValueError("base must be >= 0 and period > 0")
+        if not 0 <= amplitude <= 1:
+            raise ValueError("amplitude must be in [0, 1] to keep rates non-negative")
+        self.base = base
+        self.amplitude = amplitude
+        self.period = period
+
+    def rate_at(self, t: float) -> float:
+        return max(0.0, self.base * (1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period)))
+
+
+class ScaledRate:
+    """Wrap another schedule and scale it by a constant factor.
+
+    Handy for the 2:1 skew experiments: the same step shape driven at two
+    different magnitudes.
+    """
+
+    def __init__(self, inner: RateSchedule, factor: float) -> None:
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self.inner = inner
+        self.factor = factor
+
+    def rate_at(self, t: float) -> float:
+        return self.inner.rate_at(t) * self.factor
+
+
+class ModulatedRate:
+    """A base schedule modulated by a mean-preserving sinusoid.
+
+    ``rate(t) = base.rate_at(t) * (1 + amplitude * sin(2π t / period))`` —
+    the Figure 11 workload: step levels whose instantaneous rate
+    oscillates while the per-step average matches the unmodulated steps.
+    """
+
+    def __init__(self, base: RateSchedule, amplitude: float = 0.5, period: float = 10.0) -> None:
+        if not 0 <= amplitude <= 1:
+            raise ValueError("amplitude must be in [0, 1]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.base = base
+        self.amplitude = amplitude
+        self.period = period
+
+    def rate_at(self, t: float) -> float:
+        factor = 1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period)
+        return max(0.0, self.base.rate_at(t) * factor)

@@ -1,0 +1,112 @@
+"""Integration: atomic multicast properties under load, loss and overlap.
+
+The paper's Section II-B specification, checked on bigger deployments:
+uniform agreement per group, uniform *partial* order across learners with
+overlapping subscriptions, validity, and per-sender FIFO.
+"""
+
+import itertools
+
+import pytest
+
+from repro import MultiRingConfig, MultiRingPaxos
+from repro.sim import UniformLoss
+from repro.workload import ConstantRate, OpenLoopGenerator
+
+SIZE = 8192
+
+
+def common_order_agrees(log_a, log_b):
+    """Messages delivered by both learners appear in the same relative order."""
+    common = set(log_a) & set(log_b)
+    seq_a = [m for m in log_a if m in common]
+    seq_b = [m for m in log_b if m in common]
+    return seq_a == seq_b
+
+
+def deploy_overlapping(n_groups=4, seed=13, loss=None, lambda_rate=3000.0):
+    mrp = MultiRingPaxos(
+        MultiRingConfig(n_groups=n_groups, lambda_rate=lambda_rate, seed=seed)
+    )
+    if loss is not None:
+        mrp.network.loss = loss
+    subscriptions = [
+        [0],
+        [1],
+        [0, 1],
+        [1, 2],
+        [0, 1, 2, 3],
+        [2, 3],
+    ]
+    logs = []
+    for groups in subscriptions:
+        log = []
+        mrp.add_learner(groups=groups, on_deliver=lambda g, v, log=log: log.append(v.payload))
+        logs.append(log)
+    return mrp, subscriptions, logs
+
+
+@pytest.mark.slow
+def test_partial_order_across_six_overlapping_learners():
+    mrp, subscriptions, logs = deploy_overlapping()
+    prop = mrp.add_proposer()
+    n = {"i": 0}
+
+    def send():
+        g = n["i"] % 4
+        prop.multicast(g, f"g{g}-m{n['i']}", SIZE)
+        n["i"] += 1
+
+    OpenLoopGenerator(mrp.sim, send, ConstantRate(2000.0), stop_at=2.0).start()
+    mrp.run(until=4.0)
+
+    total_sent = n["i"]
+    full_log = logs[4]  # subscribed to everything
+    assert len(full_log) == total_sent  # validity + agreement
+
+    for (subs_a, log_a), (subs_b, log_b) in itertools.combinations(
+        zip(subscriptions, logs), 2
+    ):
+        assert common_order_agrees(log_a, log_b), (subs_a, subs_b)
+
+
+@pytest.mark.slow
+def test_partial_order_survives_message_loss():
+    mrp, subscriptions, logs = deploy_overlapping(seed=21, loss=UniformLoss(0.03))
+    prop = mrp.add_proposer()
+    for i in range(200):
+        prop.multicast(i % 4, f"g{i % 4}-m{i}", SIZE)
+    mrp.run(until=20.0)
+    assert len(logs[4]) == 200
+    for log_a, log_b in itertools.combinations(logs, 2):
+        assert common_order_agrees(log_a, log_b)
+
+
+@pytest.mark.slow
+def test_per_sender_fifo_within_group():
+    """FIFO links + sequenced submissions give per-sender FIFO delivery."""
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2, lambda_rate=2000.0, seed=5))
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append((v.sender, v.payload)))
+    proposers = [mrp.add_proposer() for _ in range(3)]
+    for i in range(60):
+        proposers[i % 3].multicast(i % 2, i, SIZE)
+    mrp.run(until=3.0)
+    assert len(log) == 60
+    for prop in proposers:
+        mine = [payload for sender, payload in log if sender == prop.node.name]
+        assert mine == sorted(mine)
+
+
+@pytest.mark.slow
+def test_eight_ring_agreement_under_load():
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=8, lambda_rate=2000.0, seed=3))
+    log_a, log_b = [], []
+    mrp.add_learner(groups=list(range(8)), on_deliver=lambda g, v: log_a.append(v.payload))
+    mrp.add_learner(groups=list(range(8)), on_deliver=lambda g, v: log_b.append(v.payload))
+    prop = mrp.add_proposer()
+    for i in range(160):
+        prop.multicast(i % 8, f"m{i}", SIZE)
+    mrp.run(until=3.0)
+    assert len(log_a) == 160
+    assert log_a == log_b  # identical subscriptions -> identical sequence

@@ -1,0 +1,151 @@
+"""Integration: automatic ring reconfiguration (paper, Section IV-C).
+
+A coordinator crash is detected by the surviving acceptors through
+heartbeat silence; the lowest-indexed survivor promotes itself, includes
+a spare acceptor in the new ring, recovers accepted values with a
+range-Phase 1, and resumes service. No message may be lost, duplicated,
+or reordered across the reconfiguration.
+"""
+
+import pytest
+
+from repro import MultiRingConfig, MultiRingPaxos
+
+SIZE = 8192
+
+
+def deploy(n_groups=1, **kwargs):
+    kwargs.setdefault("lambda_rate", 2000.0)
+    kwargs.setdefault("spares_per_ring", 1)
+    kwargs.setdefault("auto_failover", True)
+    kwargs.setdefault("suspect_timeout", 0.05)
+    return MultiRingPaxos(MultiRingConfig(n_groups=n_groups, **kwargs))
+
+
+def test_takeover_installs_new_coordinator():
+    mrp = deploy()
+    old = mrp.rings[0].coordinator
+    mrp.crash_coordinator(0)
+    mrp.run(until=1.0)
+    new = mrp.rings[0].coordinator
+    assert new is not old
+    assert new.node.name == "mr0-acc0"  # the surviving acceptor promoted
+    assert new.rnd > old.rnd
+    assert "mr0-spare0" in new.config.acceptors  # spare joined the ring
+    assert mrp.rings[0].failover.takeovers == 1
+
+
+def test_messages_survive_coordinator_failure_exactly_once():
+    mrp = deploy()
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    for i in range(10):
+        p.multicast(0, f"pre-{i}", SIZE)
+    mrp.run(until=0.5)
+    assert len(log) == 10
+    mrp.crash_coordinator(0)
+    # These are submitted during the outage: the proposer keeps
+    # retransmitting until the new coordinator acknowledges them.
+    for i in range(10):
+        p.multicast(0, f"mid-{i}", SIZE)
+    mrp.run(until=1.5)
+    for i in range(10):
+        p.multicast(0, f"post-{i}", SIZE)
+    mrp.run(until=3.0)
+    assert len(log) == 30
+    assert len(set(log)) == 30  # exactly once
+    # Per-sender FIFO held across the takeover.
+    assert [m for m in log if m.startswith("mid")] == [f"mid-{i}" for i in range(10)]
+    assert [m for m in log if m.startswith("post")] == [f"post-{i}" for i in range(10)]
+
+
+def test_undecided_inflight_values_are_recovered():
+    """Values accepted by the survivor but undecided at crash time must be
+    re-proposed by the new coordinator (Paxos value recovery)."""
+    mrp = deploy(batch_timeout=10.0, window=64)
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    for i in range(5):
+        p.multicast(0, f"m{i}", SIZE)
+    # Let the 2As reach the first acceptor but kill the coordinator right
+    # away: decisions have not been announced yet.
+    mrp.run(until=0.002)
+    mrp.crash_coordinator(0)
+    mrp.run(until=3.0)
+    assert sorted(log) == [f"m{i}" for i in range(5)]
+    assert len(log) == len(set(log))
+
+
+def test_multi_group_learner_drains_after_takeover():
+    """The new coordinator's skip manager covers the outage interval, so a
+    learner merged across rings drains its buffered backlog."""
+    mrp = deploy(n_groups=2)
+    log = []
+    learner = mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    for i in range(4):
+        p.multicast(i % 2, f"pre-{i}", SIZE)
+    mrp.run(until=0.5)
+    mrp.crash_coordinator(0)
+    for i in range(4, 10):
+        p.multicast(1, f"ring1-{i}", SIZE)  # ring 1 keeps producing
+    mrp.run(until=0.54)  # before detection: merge is stalled
+    stalled = len(log)
+    mrp.run(until=3.0)  # detection + takeover + skip catch-up
+    assert len(log) == 10
+    assert len(log) > stalled
+    assert not learner.halted
+
+
+def test_learner_repairs_follow_the_new_ring():
+    mrp = deploy()
+    log = []
+    learner = mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    p.multicast(0, "before", SIZE)
+    mrp.run(until=0.5)
+    mrp.crash_coordinator(0)
+    mrp.run(until=1.5)
+    # After the CoordinatorChange announcement the learner's config names
+    # the new ring members.
+    ring_learner = learner.ring_learners[0]
+    assert ring_learner.config.coordinator == "mr0-acc0"
+    p.multicast(0, "after", SIZE)
+    mrp.run(until=2.5)
+    assert log == ["before", "after"]
+
+
+def test_second_failover_uses_remaining_spare():
+    mrp = deploy(acceptors_per_ring=3, spares_per_ring=2)
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    p.multicast(0, "a", SIZE)
+    mrp.run(until=0.5)
+    mrp.crash_coordinator(0)
+    mrp.run(until=1.5)
+    p.multicast(0, "b", SIZE)
+    mrp.run(until=2.0)
+    # Kill the new coordinator too.
+    second = mrp.rings[0].coordinator
+    second.crash()
+    second.node.crash()
+    mrp.run(until=3.5)
+    p.multicast(0, "c", SIZE)
+    mrp.run(until=5.0)
+    assert log == ["a", "b", "c"]
+    assert mrp.rings[0].failover.takeovers == 2
+
+
+def test_no_false_takeover_while_coordinator_is_healthy():
+    mrp = deploy()
+    p = mrp.add_proposer()
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    for i in range(5):
+        p.multicast(0, f"m{i}", SIZE)
+    mrp.run(until=2.0)  # idle for many suspect timeouts (heartbeats flow)
+    assert mrp.rings[0].failover.takeovers == 0
+    assert len(log) == 5

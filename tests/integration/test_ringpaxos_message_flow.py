@@ -1,0 +1,111 @@
+"""Integration: the Ring Paxos message flow of the paper's Figure 3.
+
+Checks the protocol's distinguishing wire-level behaviours: the value
+travels once by ip-multicast, consensus runs on small IDs relayed along
+the ring, and decisions ride on later multicasts.
+"""
+
+import pytest
+
+from repro.calibration import CONTROL_MESSAGE_SIZE, DEFAULT_VALUE_SIZE
+from repro.ringpaxos import Phase2A, Phase2B, build_ring
+from repro.sim import Network, Simulator
+
+
+def deploy(n_acceptors=3, n_learners=2):
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    ring = build_ring(sim, net, n_acceptors=n_acceptors, n_learners=n_learners)
+    return sim, net, ring
+
+
+def test_value_is_multicast_once_per_instance():
+    """Step 3: the coordinator's 2A pays one egress serialization."""
+    sim, net, ring = deploy()
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    coord_nic = net.nic(ring.coordinator.node.name)
+    # Egress: the 8 KB Submit arrived (ingress), and the coordinator sent
+    # one value-sized multicast; everything else is small control traffic.
+    big_sends = coord_nic.bytes_sent // DEFAULT_VALUE_SIZE
+    assert big_sends == 1
+
+
+def test_phase2b_token_is_small_and_counts_accepts():
+    """Steps 4-5: a 64-byte token accumulates accepts along the ring."""
+    sim, net, ring = deploy(n_acceptors=3)
+    seen_tokens = []
+    coord = ring.coordinator
+    original = coord._on_phase2b
+
+    def spy(msg):
+        seen_tokens.append(msg)
+        original(msg)
+
+    coord._on_phase2b = spy
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    assert len(seen_tokens) == 1
+    token = seen_tokens[0]
+    assert isinstance(token, Phase2B)
+    assert token.size == CONTROL_MESSAGE_SIZE
+    # Two non-coordinator acceptors accepted before it reached the end.
+    assert token.accepts == 2
+
+
+def test_learners_receive_value_from_multicast_not_unicast():
+    """Learners get the value in the 2A itself (they are in the group)."""
+    sim, net, ring = deploy(n_learners=2)
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    for learner in ring.learners:
+        assert learner.received_bytes.value >= DEFAULT_VALUE_SIZE
+        assert learner.delivered_messages.value == 1
+
+
+def test_decisions_piggyback_on_next_phase2a():
+    """Step 6: under pipelined load, decisions ride on later multicasts."""
+    sim, net, ring = deploy()
+    learner = ring.learners[0]
+    piggybacked = []
+    original = learner._on_phase2a
+
+    def spy(msg):
+        if msg.decisions:
+            piggybacked.append(msg)
+        original(msg)
+
+    learner._on_phase2a = spy
+    for i in range(20):
+        ring.proposers[0].multicast(f"m{i}", DEFAULT_VALUE_SIZE)
+    sim.run(until=1.0)
+    assert piggybacked, "pipelined load should piggyback decisions on 2As"
+    assert learner.delivered_messages.value == 20
+
+
+def test_acceptors_store_values_by_id():
+    """The acceptor check: values are known by ID before accepting 2Bs."""
+    sim, net, ring = deploy(n_acceptors=3)
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    for acceptor in ring.acceptors:
+        assert acceptor.values.stored >= 1
+        assert acceptor.accepts.value == 1
+
+
+def test_ring_order_coordinator_last():
+    """The 2B path visits acceptors in ring order, coordinator last."""
+    sim, net, ring = deploy(n_acceptors=4)
+    order = []
+    for acc in ring.acceptors:
+        original = acc._forward
+
+        def spy(token, acc=acc, original=original):
+            order.append(acc.node.name)
+            original(token)
+
+        acc._forward = spy
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    assert order == [a.node.name for a in ring.acceptors]
+    assert ring.coordinator.instances_decided.value == 1

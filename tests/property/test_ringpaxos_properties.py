@@ -1,0 +1,79 @@
+"""Property-based end-to-end tests for Ring Paxos (small, bounded runs).
+
+Hypothesis drives the workload shape (message counts, sizes, loss rate,
+seed); the properties are the atomic broadcast specification itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ringpaxos import build_ring
+from repro.sim import Network, Simulator, UniformLoss
+
+
+@given(
+    n_messages=st.integers(1, 30),
+    size=st.sampled_from([256, 1024, 8192]),
+    loss=st.sampled_from([0.0, 0.02, 0.1]),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=15, deadline=None)
+def test_atomic_broadcast_specification(n_messages, size, loss, seed):
+    """Validity, uniform agreement, total order, exactly-once."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, loss=UniformLoss(loss) if loss else None)
+    ring = build_ring(sim, net, n_learners=2)
+    logs = [[], []]
+    for learner, log in zip(ring.learners, logs):
+        learner.on_deliver = lambda inst, v, log=log: log.append(v.payload)
+    for i in range(n_messages):
+        ring.proposers[0].multicast(f"m{i}", size)
+    sim.run(until=30.0)
+    expected = [f"m{i}" for i in range(n_messages)]
+    # Validity + exactly-once + FIFO (single proposer => submission order).
+    assert logs[0] == expected
+    # Uniform total order across learners.
+    assert logs[0] == logs[1]
+
+
+@given(
+    n_acceptors=st.integers(1, 4),
+    n_messages=st.integers(1, 15),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=10, deadline=None)
+def test_ring_size_does_not_affect_correctness(n_acceptors, n_messages, seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    ring = build_ring(sim, net, n_acceptors=n_acceptors)
+    log = []
+    ring.learners[0].on_deliver = lambda inst, v: log.append(v.payload)
+    for i in range(n_messages):
+        ring.proposers[0].multicast(i, 1024)
+    sim.run(until=5.0)
+    assert log == list(range(n_messages))
+    assert ring.coordinator.instances_decided.value >= 1
+
+
+@given(
+    skip_counts=st.lists(st.integers(1, 500), min_size=1, max_size=5),
+    n_messages=st.integers(0, 5),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=15, deadline=None)
+def test_skip_ranges_never_reach_application(skip_counts, n_messages, seed):
+    """Skips advance instance numbering exactly, deliver nothing."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    log = []
+    ring.learners[0].on_deliver = lambda inst, v: log.append(v.payload)
+    for count in skip_counts:
+        ring.coordinator.propose_skip(count)
+    for i in range(n_messages):
+        ring.proposers[0].multicast(i, 1024)
+    sim.run(until=5.0)
+    assert log == list(range(n_messages))
+    learner = ring.learners[0]
+    assert learner.skipped_instances.value == sum(skip_counts)
+    assert learner.next_instance >= sum(skip_counts) + (1 if n_messages else 0)

@@ -1,0 +1,108 @@
+"""Property-based tests for simulation-kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import BucketSeries, LatencyHistogram
+from repro.sim import FifoServer, Simulator
+from repro.sim.events import EventQueue
+
+
+@given(times=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_event_queue_pops_in_nondecreasing_time_order(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (e := q.pop()) is not None:
+        popped.append(e.time)
+    assert popped == sorted(times)
+
+
+@given(
+    times=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=2, max_size=100),
+    cancel_idx=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancelled_events_never_fire(times, cancel_idx):
+    sim = Simulator()
+    fired = []
+    events = [sim.at(t, fired.append, i) for i, t in enumerate(times)]
+    n_cancel = cancel_idx.draw(st.integers(0, len(events)))
+    for e in events[:n_cancel]:
+        sim.cancel(e)
+    sim.run()
+    assert sorted(fired) == list(range(n_cancel, len(events)))
+
+
+@given(
+    demands=st.lists(st.floats(0.001, 10.0, allow_nan=False), min_size=1, max_size=100),
+    rate=st.floats(0.1, 100.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_fifo_server_conservation(demands, rate):
+    """Total busy time == total demand / rate; completions are FIFO."""
+    sim = Simulator()
+    srv = FifoServer(sim, rate=rate)
+    finishes = [srv.submit(d) for d in demands]
+    assert finishes == sorted(finishes)
+    assert srv.total_busy_time * rate == sum(demands) or abs(
+        srv.total_busy_time - sum(demands) / rate
+    ) < 1e-6 * max(1.0, sum(demands) / rate)
+    # Utilization can never exceed 1 over any window.
+    sim.run()
+    horizon = max(finishes)
+    assert srv.busy_between(0.0, horizon) <= horizon + 1e-9
+
+
+@given(
+    demands=st.lists(st.floats(0.001, 5.0, allow_nan=False), min_size=1, max_size=50),
+    gaps=st.lists(st.floats(0.0, 5.0, allow_nan=False), min_size=1, max_size=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_fifo_busy_between_is_additive(demands, gaps):
+    """busy(a,c) == busy(a,b) + busy(b,c) for any split point."""
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0, history_window=1e9)
+    t = 0.0
+    for demand, gap in zip(demands, gaps):
+        sim.run(until=t)
+        srv.submit(demand)
+        t += gap
+    sim.run()
+    end = srv.busy_until + 1.0
+    mid = end / 2
+    total = srv.busy_between(0.0, end)
+    split = srv.busy_between(0.0, mid) + srv.busy_between(mid, end)
+    assert abs(total - split) < 1e-9
+
+
+@given(samples=st.lists(st.floats(0.0, 1e3, allow_nan=False), min_size=1, max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_histogram_stats_match_ground_truth(samples):
+    h = LatencyHistogram()
+    for s in samples:
+        h.record(s)
+    assert abs(h.mean - sum(samples) / len(samples)) < 1e-6 * max(1.0, max(samples))
+    assert h.percentile(0) == min(samples)
+    assert h.percentile(100) == max(samples)
+    assert min(samples) <= h.trimmed_mean(0.05) <= h.mean + 1e-9
+
+
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0.0, 100.0, allow_nan=False), st.floats(0.0, 1e3)),
+        min_size=1,
+        max_size=300,
+    ),
+    width=st.floats(0.1, 10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_bucket_series_conserves_total(points, width):
+    s = BucketSeries(bucket_width=width)
+    for t, amount in points:
+        s.record(t, amount)
+    total_recorded = sum(a for _, a in points)
+    total_bucketed = sum(s.bucket_totals().values())
+    assert abs(total_recorded - total_bucketed) < 1e-6 * max(1.0, total_recorded)

@@ -1,0 +1,145 @@
+"""Tests for the LCR and Spread-like baselines."""
+
+import pytest
+
+from repro.baselines import (
+    LCR_MESSAGE_SIZE,
+    SPREAD_MESSAGE_SIZE,
+    build_lcr_ring,
+    build_spread,
+)
+from repro.errors import ConfigurationError
+from repro.sim import Network, Simulator
+
+
+def lcr_setup(n=3):
+    sim = Simulator(seed=9)
+    net = Network(sim)
+    delivered = {f"lcr{i}": [] for i in range(n)}
+    nodes = build_lcr_ring(
+        sim, net, n, on_deliver=lambda name, msg: delivered[name].append(msg)
+    )
+    return sim, net, nodes, delivered
+
+
+# ---------------------------------------------------------------------------
+# LCR
+# ---------------------------------------------------------------------------
+def test_lcr_broadcast_reaches_everyone():
+    sim, net, nodes, delivered = lcr_setup(3)
+    nodes[0].broadcast("hello")
+    sim.run(until=1.0)
+    for name, msgs in delivered.items():
+        assert [m.payload for m in msgs] == ["hello"]
+
+
+def test_lcr_total_order_across_nodes():
+    sim, net, nodes, delivered = lcr_setup(4)
+    # Interleave broadcasts from all members.
+    for i in range(20):
+        sim.at(i * 1e-4, nodes[i % 4].broadcast, f"m{i}", 1024)
+    sim.run(until=2.0)
+    orders = [[m.payload for m in msgs] for msgs in delivered.values()]
+    assert all(len(o) == 20 for o in orders)
+    assert all(o == orders[0] for o in orders)
+
+
+def test_lcr_sender_delivers_its_own_messages():
+    sim, net, nodes, delivered = lcr_setup(2)
+    nodes[1].broadcast("own")
+    sim.run(until=1.0)
+    assert [m.payload for m in delivered["lcr1"]] == ["own"]
+
+
+def test_lcr_latency_and_metrics():
+    sim, net, nodes, delivered = lcr_setup(3)
+    nodes[0].broadcast("x")
+    sim.run(until=1.0)
+    n0 = nodes[0]
+    assert n0.sent.value == 1
+    assert n0.delivered.value == 1
+    assert n0.delivered_bytes.value == LCR_MESSAGE_SIZE
+    assert 0 < n0.latency.mean < 0.05
+
+
+def test_lcr_requires_two_nodes():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ConfigurationError):
+        build_lcr_ring(sim, net, 1)
+
+
+def test_lcr_fifo_per_origin():
+    sim, net, nodes, delivered = lcr_setup(2)
+    for i in range(10):
+        nodes[0].broadcast(f"m{i}", 1024)
+    sim.run(until=1.0)
+    assert [m.payload for m in delivered["lcr1"]] == [f"m{i}" for i in range(10)]
+
+
+# ---------------------------------------------------------------------------
+# Spread-like
+# ---------------------------------------------------------------------------
+def spread_setup(n_daemons=2, clients_per_daemon=1, client_groups=None):
+    sim = Simulator(seed=11)
+    net = Network(sim)
+    daemons, clients = build_spread(
+        sim, net, n_daemons, clients_per_daemon, client_groups=client_groups
+    )
+    logs = []
+    for client in clients:
+        log = []
+        client.on_deliver = lambda msg, log=log: log.append(msg)
+        logs.append(log)
+    return sim, net, daemons, clients, logs
+
+
+def test_spread_message_delivered_to_subscribers():
+    sim, net, daemons, clients, logs = spread_setup(2)
+    clients[0].multicast(0, "hey")
+    sim.run(until=1.0)
+    assert [m.payload for m in logs[0]] == ["hey"]  # client 0 subscribes g0
+    assert logs[1] == []  # client 1 subscribes g1
+
+
+def test_spread_group_isolation_and_order():
+    groups = lambda d, c: [0, 1]  # all clients subscribe to both groups
+    sim, net, daemons, clients, logs = spread_setup(2, client_groups=groups)
+    for i in range(10):
+        clients[i % 2].multicast(i % 2, f"m{i}", 2048)
+    sim.run(until=2.0)
+    orders = [[m.payload for m in log] for log in logs]
+    assert all(len(o) == 10 for o in orders)
+    assert orders[0] == orders[1]  # token order is total
+
+
+def test_spread_latency_includes_token_wait():
+    sim, net, daemons, clients, logs = spread_setup(4)
+    clients[2].multicast(2, "late")
+    sim.run(until=1.0)
+    assert clients[2].delivered.value == 1
+    assert clients[2].latency.mean > 0.0
+    assert clients[2].delivered_bytes.value == SPREAD_MESSAGE_SIZE
+
+
+def test_spread_single_daemon_works():
+    sim, net, daemons, clients, logs = spread_setup(1)
+    for i in range(5):
+        clients[0].multicast(0, f"m{i}", 2048)
+    sim.run(until=1.0)
+    assert [m.payload for m in logs[0]] == [f"m{i}" for i in range(5)]
+
+
+def test_spread_requires_a_daemon():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ConfigurationError):
+        build_spread(sim, net, 0)
+
+
+def test_spread_token_keeps_rotating_when_idle():
+    sim, net, daemons, clients, logs = spread_setup(3)
+    sim.run(until=0.5)
+    clients[1].multicast(1, "after-idle", 2048)
+    sim.run(until=1.5)
+    assert [m.payload for m in logs[1]] == ["after-idle"]

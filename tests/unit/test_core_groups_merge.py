@@ -1,0 +1,195 @@
+"""Unit tests for the group registry and the deterministic merge."""
+
+import pytest
+
+from repro.core import DeterministicMerge, GroupRegistry
+from repro.errors import ConfigurationError
+from repro.ringpaxos import ClientValue, DataBatch, SkipRange
+
+
+# ---------------------------------------------------------------------------
+# GroupRegistry
+# ---------------------------------------------------------------------------
+def test_registry_add_and_lookup():
+    reg = GroupRegistry()
+    reg.add(0, 0)
+    reg.add(1, 1)
+    assert reg.ring_for(0) == 0
+    assert reg.ring_for(1) == 1
+    assert 0 in reg and 2 not in reg
+    assert len(reg) == 2
+
+
+def test_registry_rejects_duplicates_and_unknowns():
+    reg = GroupRegistry()
+    reg.add(0, 0)
+    with pytest.raises(ConfigurationError):
+        reg.add(0, 1)
+    with pytest.raises(ConfigurationError):
+        reg.ring_for(9)
+
+
+def test_registry_ring_order_from_group_ids():
+    reg = GroupRegistry()
+    reg.add(0, 5)
+    reg.add(1, 2)
+    reg.add(2, 5)
+    # Order derived from ascending group ids, deduplicated.
+    assert reg.rings_for([2, 0, 1]) == [5, 2]
+    assert reg.rings_for([1]) == [2]
+    assert reg.groups_on_ring(5) == [0, 2]
+
+
+def test_registry_group_ids_sorted():
+    reg = GroupRegistry()
+    for gid in (3, 1, 2):
+        reg.add(gid, gid)
+    assert reg.group_ids() == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# DeterministicMerge helpers
+# ---------------------------------------------------------------------------
+def cv(tag, group=0, size=10):
+    return ClientValue(payload=tag, size=size, group=group)
+
+
+def batch(vid, *tags, group=0):
+    return DataBatch(vid, tuple(cv(t, group=group) for t in tags))
+
+
+def make_merge(rings=(0, 1), m=1, buffer_limit=1000):
+    out = []
+    merge = DeterministicMerge(
+        ring_order=list(rings),
+        m=m,
+        on_deliver=lambda rid, inst, v: out.append((rid, v.payload)),
+        buffer_limit=buffer_limit,
+    )
+    return merge, out
+
+
+# ---------------------------------------------------------------------------
+# DeterministicMerge behaviour
+# ---------------------------------------------------------------------------
+def test_single_ring_merge_is_passthrough():
+    merge, out = make_merge(rings=(0,))
+    merge.push(0, 0, batch(0, "a"))
+    merge.push(0, 1, batch(1, "b"))
+    assert [p for _, p in out] == ["a", "b"]
+
+
+def test_round_robin_m1_alternates_rings():
+    merge, out = make_merge(m=1)
+    merge.push(0, 0, batch(0, "a0"))
+    merge.push(0, 1, batch(1, "a1"))
+    merge.push(1, 0, batch(0, "b0"))
+    merge.push(1, 1, batch(1, "b1"))
+    assert [p for _, p in out] == ["a0", "b0", "a1", "b1"]
+
+
+def test_merge_blocks_until_other_ring_produces():
+    merge, out = make_merge(m=1)
+    merge.push(0, 0, batch(0, "a0"))
+    merge.push(0, 1, batch(1, "a1"))
+    # Only ring 0 produced: after delivering a0 the merge must wait for
+    # ring 1 before a1 (this is the Figure 4 buffering of m4).
+    assert [p for _, p in out] == ["a0"]
+    assert merge.queue_depth(0) == 1
+    merge.push(1, 0, batch(0, "b0"))
+    assert [p for _, p in out] == ["a0", "b0", "a1"]
+
+
+def test_merge_m_greater_than_one_consumes_m_per_visit():
+    merge, out = make_merge(m=2)
+    for i in range(4):
+        merge.push(0, i, batch(i, f"a{i}"))
+    for i in range(4):
+        merge.push(1, i, batch(i, f"b{i}"))
+    assert [p for _, p in out] == ["a0", "a1", "b0", "b1", "a2", "a3", "b2", "b3"]
+
+
+def test_skip_range_consumed_without_delivery():
+    merge, out = make_merge(m=1)
+    merge.push(0, 0, batch(0, "a0"))
+    merge.push(1, 0, SkipRange(1))
+    merge.push(0, 1, batch(1, "a1"))
+    merge.push(1, 1, SkipRange(1))
+    assert [p for _, p in out] == ["a0", "a1"]
+    assert merge.skipped_instances.value == 2
+
+
+def test_skip_range_straddles_quota_boundaries():
+    merge, out = make_merge(m=3)
+    # Ring 1 contributes one big skip range; ring 0 has data.
+    for i in range(6):
+        merge.push(0, i, batch(i, f"a{i}"))
+    merge.push(1, 0, SkipRange(6))
+    # Visits: r0 x3, r1 consumes 3 of the range, r0 x3, r1 rest.
+    assert [p for _, p in out] == ["a0", "a1", "a2", "a3", "a4", "a5"]
+    assert merge.consumed_instances.value == 12
+
+
+def test_batch_with_multiple_values_is_one_instance():
+    merge, out = make_merge(m=1)
+    merge.push(0, 0, batch(0, "x", "y", "z"))
+    merge.push(1, 0, batch(0, "b0"))
+    assert [p for _, p in out] == ["x", "y", "z", "b0"]
+    assert merge.consumed_instances.value == 2
+
+
+def test_identical_subscriptions_deliver_identical_order():
+    """Uniform partial order: two merges fed the same streams agree."""
+    streams = {
+        0: [batch(i, f"a{i}") for i in range(5)],
+        1: [batch(i, f"b{i}") for i in range(5)],
+    }
+    orders = []
+    for interleave in (True, False):
+        merge, out = make_merge(m=2)
+        if interleave:
+            for i in range(5):
+                merge.push(0, i, streams[0][i])
+                merge.push(1, i, streams[1][i])
+        else:
+            for i in range(5):
+                merge.push(1, i, streams[1][i])
+            for i in range(5):
+                merge.push(0, i, streams[0][i])
+        orders.append([p for _, p in out])
+    assert orders[0] == orders[1]
+
+
+def test_buffer_overflow_halts_merge():
+    halted = []
+    merge = DeterministicMerge(
+        ring_order=[0, 1],
+        m=1,
+        on_deliver=lambda *a: None,
+        buffer_limit=10,
+        on_halt=lambda: halted.append(True),
+    )
+    # Ring 1 floods while ring 0 is silent: buffer grows past the limit.
+    for i in range(12):
+        merge.push(1, i, batch(i, f"b{i}"))
+    assert merge.halted
+    assert halted == [True]
+    # Once halted, nothing is delivered even if ring 0 wakes up.
+    merge.push(0, 0, batch(0, "late"))
+    assert merge.delivered_messages.value == 0
+
+
+def test_merge_validation():
+    with pytest.raises(ValueError):
+        DeterministicMerge([], 1, lambda *a: None)
+    with pytest.raises(ValueError):
+        DeterministicMerge([0, 0], 1, lambda *a: None)
+    with pytest.raises(ValueError):
+        DeterministicMerge([0], 0, lambda *a: None)
+
+
+def test_three_ring_rotation_order():
+    merge, out = make_merge(rings=(0, 1, 2), m=1)
+    for rid in (2, 1, 0):  # arrival order must not matter
+        merge.push(rid, 0, batch(0, f"r{rid}"))
+    assert [p for _, p in out] == ["r0", "r1", "r2"]

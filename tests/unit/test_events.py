@@ -1,0 +1,78 @@
+"""Unit tests for the event queue primitives."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(2.0, fired.append, ("b",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(3.0, fired.append, ("c",))
+    while (e := q.pop()) is not None:
+        e.fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    q = EventQueue()
+    fired = []
+    for label in "abcde":
+        q.push(1.0, fired.append, (label,))
+    while (e := q.pop()) is not None:
+        e.fire()
+    assert fired == list("abcde")
+
+
+def test_len_counts_live_events_only():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    q.cancel(e1)
+    assert len(q) == 1
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_cancelled_events_are_skipped_by_pop():
+    q = EventQueue()
+    fired = []
+    e1 = q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    q.cancel(e1)
+    e = q.pop()
+    e.fire()
+    assert fired == ["b"]
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 1.0
+    q.cancel(e1)
+    assert q.peek_time() == 5.0
+
+
+def test_empty_queue_behaviour():
+    q = EventQueue()
+    assert not q
+    assert q.pop() is None
+    assert q.peek_time() is None
+
+
+def test_queue_orders_by_time_then_seq():
+    q = EventQueue()
+    q.push(1.0, lambda: None)   # seq 0
+    q.push(1.0, lambda: None)   # seq 1
+    q.push(0.5, lambda: None)   # seq 2
+    popped = [q.pop() for _ in range(3)]
+    assert [(e.time, e.seq) for e in popped] == [(0.5, 2), (1.0, 0), (1.0, 1)]

@@ -1,0 +1,168 @@
+"""Unit tests for metrics instruments."""
+
+import pytest
+
+from repro.metrics import (
+    BucketSeries,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    SampledSeries,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Counter / Gauge
+# ---------------------------------------------------------------------------
+def test_counter_increments():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_set_and_add():
+    g = Gauge("g", 10.0)
+    g.add(-3.0)
+    g.set(5.0)
+    assert g.value == 5.0
+
+
+# ---------------------------------------------------------------------------
+# LatencyHistogram
+# ---------------------------------------------------------------------------
+def test_histogram_mean():
+    h = LatencyHistogram()
+    for v in [1.0, 2.0, 3.0]:
+        h.record(v)
+    assert h.mean == pytest.approx(2.0)
+    assert h.count == 3
+
+
+def test_histogram_trimmed_mean_drops_top_tail():
+    h = LatencyHistogram()
+    for _ in range(95):
+        h.record(1.0)
+    for _ in range(5):
+        h.record(100.0)  # disk-flush spikes
+    assert h.trimmed_mean(0.05) == pytest.approx(1.0)
+    assert h.mean > 1.0
+
+
+def test_histogram_percentiles():
+    h = LatencyHistogram()
+    for v in range(1, 101):
+        h.record(float(v))
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 100.0
+    assert h.percentile(50) == pytest.approx(50.5)
+
+
+def test_histogram_empty_is_safe():
+    h = LatencyHistogram()
+    assert h.mean == 0.0
+    assert h.trimmed_mean() == 0.0
+    assert h.percentile(99) == 0.0
+    assert h.max == 0.0
+
+
+def test_histogram_rejects_bad_input():
+    h = LatencyHistogram()
+    with pytest.raises(ValueError):
+        h.record(-1.0)
+    with pytest.raises(ValueError):
+        h.trimmed_mean(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_decimation_keeps_mean_exact():
+    h = LatencyHistogram(max_samples=100)
+    for v in range(1000):
+        h.record(float(v % 10))
+    assert h.count == 1000
+    assert h.mean == pytest.approx(4.5)
+    assert len(h._samples) <= 100
+
+
+# ---------------------------------------------------------------------------
+# BucketSeries
+# ---------------------------------------------------------------------------
+def test_bucket_series_accumulates():
+    s = BucketSeries(bucket_width=1.0)
+    s.record(0.2, 10)
+    s.record(0.9, 5)
+    s.record(1.1, 7)
+    assert s.rate_at(0.5) == pytest.approx(15.0)
+    assert s.rate_at(1.5) == pytest.approx(7.0)
+    assert s.rate_at(9.0) == 0.0
+
+
+def test_bucket_series_mean():
+    s = BucketSeries(bucket_width=1.0)
+    s.record(0.1, 2.0)
+    s.record(0.2, 4.0)
+    assert s.mean_at(0.5) == pytest.approx(3.0)
+    assert s.mean_at(5.0) == 0.0
+
+
+def test_bucket_series_dense_series():
+    s = BucketSeries(bucket_width=1.0)
+    s.record(0.5, 1.0)
+    s.record(2.5, 3.0)
+    dense = s.series(0.0, 3.0)
+    assert dense == [(0.0, 1.0), (1.0, 0.0), (2.0, 3.0)]
+
+
+def test_bucket_series_subsecond_buckets():
+    s = BucketSeries(bucket_width=0.1)
+    s.record(0.05, 1.0)
+    assert s.rate_at(0.05) == pytest.approx(10.0)
+
+
+# ---------------------------------------------------------------------------
+# SampledSeries
+# ---------------------------------------------------------------------------
+def test_sampled_series_collects_points():
+    sim = Simulator()
+    values = iter([0.1, 0.5, 0.9])
+    s = SampledSeries(sim, lambda: next(values), period=1.0).start()
+    sim.run(until=3.0)
+    assert [v for _, v in s.points] == [0.1, 0.5, 0.9]
+    assert s.last() == 0.9
+    assert s.max() == 0.9
+    assert s.mean_over(0.0, 2.0) == pytest.approx(0.3)
+
+
+def test_sampled_series_stop():
+    sim = Simulator()
+    s = SampledSeries(sim, lambda: 1.0, period=1.0).start()
+    sim.run(until=2.0)
+    s.stop()
+    sim.run(until=10.0)
+    assert len(s.points) == 2
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+def test_registry_get_or_create_identity():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.series("s") is reg.series("s")
+
+
+def test_registry_names_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b")
+    reg.gauge("a")
+    assert reg.names() == ["a", "b"]

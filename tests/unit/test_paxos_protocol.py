@@ -1,0 +1,169 @@
+"""Protocol-level tests for classic Paxos: safety and liveness scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.paxos import Acceptor, DurableStorage, InMemoryStorage, Learner, Proposer, Value
+from repro.sim import Network, Node, Simulator, UniformLoss
+
+
+def build(n_acceptors=3, n_proposers=1, n_learners=1, loss=None, durable=False, seed=3):
+    """Wire a classic Paxos deployment on fresh nodes."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, loss=loss)
+    acceptors = []
+    for i in range(n_acceptors):
+        node = net.add_node(
+            Node(sim, f"acc{i}", disk_bandwidth=50e6 if durable else None)
+        )
+        storage = DurableStorage(node.disk) if durable else InMemoryStorage()
+        acceptors.append(Acceptor(sim, net, node, storage))
+    learners = []
+    proposer_names = [f"prop{i}" for i in range(n_proposers)]
+    for i in range(n_learners):
+        node = net.add_node(Node(sim, f"lrn{i}"))
+        learners.append(Learner(sim, net, node, recovery_peers=proposer_names))
+    proposers = []
+    for i in range(n_proposers):
+        node = net.add_node(Node(sim, f"prop{i}"))
+        proposers.append(
+            Proposer(
+                sim,
+                net,
+                node,
+                acceptors=[a.node.name for a in acceptors],
+                learners=[l.node.name for l in learners],
+                proposer_id=i,
+                n_proposers=max(1, n_proposers),
+            )
+        )
+    return sim, net, acceptors, proposers, learners
+
+
+def test_single_instance_decides_proposed_value():
+    sim, net, accs, (prop,), (lrn,) = build()
+    decided = []
+    prop.propose(0, Value("hello", 100), lambda i, v: decided.append((i, v.payload)))
+    sim.run(until=1.0)
+    assert decided == [(0, "hello")]
+    assert lrn.delivered[0][1].payload == "hello"
+
+
+def test_many_instances_deliver_in_order():
+    sim, net, accs, (prop,), (lrn,) = build()
+    for i in range(50):
+        prop.propose(i, Value(f"v{i}", 100))
+    sim.run(until=2.0)
+    assert [v.payload for _, v in lrn.delivered] == [f"v{i}" for i in range(50)]
+    assert lrn.next_instance == 50
+
+
+def test_learner_buffers_out_of_order_decisions():
+    sim, net, accs, (prop,), (lrn,) = build()
+    # Propose instance 1 first; learner must not deliver until 0 decides.
+    prop.propose(1, Value("second", 10))
+    sim.run(until=0.01)
+    assert lrn.delivered == []
+    assert lrn.buffered == 1
+    prop.propose(0, Value("first", 10))
+    sim.run(until=1.0)
+    assert [v.payload for _, v in lrn.delivered] == ["first", "second"]
+
+
+def test_decision_survives_minority_acceptor_crash():
+    sim, net, accs, (prop,), (lrn,) = build(n_acceptors=3)
+    accs[2].node.crash()
+    prop.propose(0, Value("ok", 10))
+    sim.run(until=1.0)
+    assert len(lrn.delivered) == 1
+
+
+def test_no_progress_without_majority():
+    sim, net, accs, (prop,), (lrn,) = build(n_acceptors=3)
+    accs[1].node.crash()
+    accs[2].node.crash()
+    prop.propose(0, Value("stuck", 10))
+    sim.run(until=1.0)
+    assert lrn.delivered == []
+    assert prop.retries > 0  # it kept trying
+
+
+def test_competing_proposers_agree_on_single_value():
+    sim, net, accs, props, (lrn,) = build(n_proposers=2)
+    outcomes = {}
+    props[0].propose(0, Value("A", 10), lambda i, v: outcomes.setdefault("p0", v.payload))
+    props[1].propose(0, Value("B", 10), lambda i, v: outcomes.setdefault("p1", v.payload))
+    sim.run(until=5.0)
+    assert outcomes["p0"] == outcomes["p1"]
+    assert outcomes["p0"] in {"A", "B"}
+
+
+def test_second_proposer_adopts_accepted_value():
+    """Uniform agreement: once chosen, a later round must re-decide the same value."""
+    sim, net, accs, props, (lrn,) = build(n_proposers=2)
+    decided = []
+    props[0].propose(0, Value("first", 10), lambda i, v: decided.append(v.payload))
+    sim.run(until=1.0)
+    assert decided == ["first"]
+    props[1].propose(0, Value("usurper", 10), lambda i, v: decided.append(v.payload))
+    sim.run(until=2.0)
+    assert decided == ["first", "first"]
+
+
+def test_consensus_under_heavy_message_loss():
+    sim, net, accs, (prop,), (lrn,) = build(loss=UniformLoss(0.3), seed=17)
+    for i in range(10):
+        prop.propose(i, Value(f"v{i}", 50))
+    sim.run(until=30.0)
+    assert [v.payload for _, v in lrn.delivered] == [f"v{i}" for i in range(10)]
+
+
+def test_durable_acceptors_decide_and_write_disk():
+    sim, net, accs, (prop,), (lrn,) = build(durable=True)
+    prop.propose(0, Value("durable", 1000))
+    sim.run(until=1.0)
+    assert len(lrn.delivered) == 1
+    assert all(a.node.disk.bytes_written > 0 for a in accs)
+
+
+def test_propose_on_decided_instance_returns_cached_value():
+    sim, net, accs, (prop,), _ = build()
+    prop.propose(0, Value("x", 10))
+    sim.run(until=1.0)
+    replays = []
+    prop.propose(0, Value("y", 10), lambda i, v: replays.append(v.payload))
+    assert replays == ["x"]
+
+
+def test_duplicate_inflight_propose_rejected():
+    sim, net, accs, (prop,), _ = build()
+    prop.propose(0, Value("x", 10))
+    with pytest.raises(ConfigurationError):
+        prop.propose(0, Value("y", 10))
+
+
+def test_proposer_requires_acceptors():
+    sim = Simulator()
+    net = Network(sim)
+    node = net.add_node(Node(sim, "p"))
+    with pytest.raises(ConfigurationError):
+        Proposer(sim, net, node, acceptors=[])
+
+
+def test_nack_triggers_round_escalation():
+    sim, net, accs, props, (lrn,) = build(n_proposers=2)
+    # p1 first claims a high round by proposing; p0 then gets nacked and retries.
+    props[1].propose(0, Value("high", 10))
+    sim.run(until=1.0)
+    before = props[0].retries
+    props[0].propose(0, Value("late", 10))
+    sim.run(until=2.0)
+    assert props[0].decided[0].payload == "high"
+
+
+def test_acceptor_counters():
+    sim, net, accs, (prop,), _ = build()
+    prop.propose(0, Value("x", 10))
+    sim.run(until=1.0)
+    assert all(a.promises_made == 1 for a in accs)
+    assert all(a.accepts_made == 1 for a in accs)

@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.bench.plots import ascii_multi_series, ascii_series, sparkline
+
+
+def test_sparkline_monotone_levels():
+    line = sparkline([0, 1, 2, 3], width=4)
+    assert len(line) == 4
+    # Intensity must be non-decreasing for a non-decreasing series.
+    levels = " .:-=+*#%@"
+    assert [levels.index(c) for c in line] == sorted(levels.index(c) for c in line)
+
+
+def test_sparkline_downsamples_preserving_spikes():
+    values = [0.0] * 100
+    values[50] = 10.0
+    line = sparkline(values, width=10)
+    assert len(line) == 10
+    assert "@" in line  # the spike survives max-pooling
+
+
+def test_sparkline_degenerate_inputs():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]) == "  "
+
+
+def test_ascii_series_renders_axes_and_shape():
+    series = [(float(t), float(t)) for t in range(20)]
+    chart = ascii_series(series, title="ramp", height=5, width=20, unit="Mbps")
+    lines = chart.splitlines()
+    assert lines[0] == "ramp"
+    assert any("#" in line for line in lines)
+    assert lines[-2].strip().startswith("+")
+    assert "t=0s" in lines[-1] and "t=19s" in lines[-1]
+    # The ramp fills more columns near the bottom than near the top.
+    top_row = lines[1]
+    bottom_row = lines[5]
+    assert bottom_row.count("#") > top_row.count("#")
+
+
+def test_ascii_series_empty_and_zero():
+    assert "(no data)" in ascii_series([], title="x")
+    assert "(all zero)" in ascii_series([(0.0, 0.0), (1.0, 0.0)], title="x")
+
+
+def test_ascii_multi_series_alignment():
+    out = ascii_multi_series(
+        {"ring 1": [(0, 1.0), (1, 2.0)], "r2": [(0, 5.0), (1, 0.0)]},
+        title="rates",
+        width=10,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "rates"
+    assert lines[1].startswith("ring 1 |")
+    assert lines[2].startswith("r2     |")
+    assert "peak 2.0" in lines[1]
+    assert "peak 5.0" in lines[2]

@@ -1,0 +1,108 @@
+"""Unit tests for Process, Timer, and PeriodicTimer."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Process, Simulator, Timer
+
+
+class Recorder(Process):
+    def __init__(self, sim):
+        super().__init__(sim, "recorder")
+        self.calls = []
+
+    def note(self, tag):
+        self.calls.append((self.sim.now, tag))
+
+
+def test_call_later_runs_when_up():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.call_later(0.5, proc.note, "tick")
+    sim.run()
+    assert proc.calls == [(0.5, "tick")]
+
+
+def test_crashed_process_suppresses_callbacks():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.call_later(0.5, proc.note, "tick")
+    proc.crash()
+    sim.run()
+    assert proc.calls == []
+
+
+def test_restart_reenables_callbacks():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.crash()
+    proc.restart()
+    proc.call_later(0.1, proc.note, "back")
+    sim.run()
+    assert proc.calls == [(0.1, "back")]
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, 0.5, lambda: fired.append(sim.now))
+    t.start()
+    sim.run(until=2.0)
+    assert fired == [0.5]
+    assert not t.armed
+
+
+def test_timer_restart_resets_deadline():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, 1.0, lambda: fired.append(sim.now))
+    t.start()
+    sim.run(until=0.6)
+    t.start()  # restart at t=0.6 -> fires at 1.6
+    sim.run(until=3.0)
+    assert fired == [1.6]
+
+
+def test_timer_stop_prevents_firing():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, 1.0, lambda: fired.append(sim.now))
+    t.start()
+    t.stop()
+    sim.run(until=3.0)
+    assert fired == []
+
+
+def test_timer_custom_delay_on_start():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, 1.0, lambda: fired.append(sim.now))
+    t.start(delay=0.25)
+    sim.run(until=2.0)
+    assert fired == [0.25]
+
+
+def test_periodic_timer_is_drift_free():
+    sim = Simulator()
+    fired = []
+    t = PeriodicTimer(sim, 0.1, lambda: fired.append(round(sim.now, 10)))
+    t.start()
+    sim.run(until=0.55)
+    t.stop()
+    assert fired == [0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+def test_periodic_timer_stop_is_final():
+    sim = Simulator()
+    fired = []
+    t = PeriodicTimer(sim, 0.1, lambda: fired.append(sim.now))
+    t.start()
+    sim.run(until=0.25)
+    t.stop()
+    sim.run(until=1.0)
+    assert len(fired) == 2
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)

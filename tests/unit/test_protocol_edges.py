@@ -1,0 +1,112 @@
+"""Edge-case tests across protocol components."""
+
+import pytest
+
+from repro.baselines import build_lcr_ring, build_mencius, build_spread
+from repro.calibration import DEFAULT_VALUE_SIZE
+from repro.ringpaxos import build_ring
+from repro.sim import Network, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Ring Paxos heartbeats and frontier
+# ---------------------------------------------------------------------------
+def test_heartbeats_flow_while_idle():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    sim.run(until=1.0)
+    # ~100 heartbeats at the default 10 ms interval, none delivering data.
+    learner = ring.learners[0]
+    assert learner.delivered_messages.value == 0
+    assert net.nic(ring.coordinator.node.name).messages_sent >= 50
+
+
+def test_frontier_tracks_skips_and_data():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    ring.coordinator.propose_skip(100)
+    ring.proposers[0].multicast("x", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.5)
+    learner = ring.learners[0]
+    assert learner.frontier == 101
+    assert learner.next_instance == 101
+
+
+def test_oversized_value_still_delivered():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    log = []
+    ring.learners[0].on_deliver = lambda inst, v: log.append(v.size)
+    ring.proposers[0].multicast("big", 64 * 1024)  # 8x the batch size
+    sim.run(until=0.5)
+    assert log == [64 * 1024]
+
+
+def test_zero_size_control_value():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    log = []
+    ring.learners[0].on_deliver = lambda inst, v: log.append(v.payload)
+    ring.proposers[0].multicast("tiny", 1)
+    sim.run(until=0.5)
+    assert log == ["tiny"]
+
+
+def test_coordinator_ignores_foreign_messages():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    ring = build_ring(sim, net)
+    # Garbage on the coordinator ports must be ignored, not crash.
+    net.send("r0-prop0", "r0-coord", ring.config.coord_port, object(), 64)
+    net.send("r0-prop0", "r0-coord", ring.config.ring_port, object(), 64)
+    sim.run(until=0.2)
+    ring.proposers[0].multicast("after", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.7)
+    assert ring.learners[0].delivered_messages.value == 1
+
+
+# ---------------------------------------------------------------------------
+# Baseline edges
+# ---------------------------------------------------------------------------
+def test_lcr_concurrent_equal_timestamp_broadcasts():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    delivered = {f"lcr{i}": [] for i in range(3)}
+    nodes = build_lcr_ring(sim, net, 3, on_deliver=lambda n, m: delivered[n].append(m.payload))
+    # All three broadcast at the same instant: total order must still agree.
+    for node in nodes:
+        node.broadcast(f"from-{node.node.name}", 1024)
+    sim.run(until=1.0)
+    orders = list(delivered.values())
+    assert all(len(o) == 3 for o in orders)
+    assert all(o == orders[0] for o in orders)
+
+
+def test_spread_client_on_multiple_groups_sees_union():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    daemons, clients = build_spread(sim, net, 2, client_groups=lambda d, c: [0, 1])
+    got = []
+    clients[0].on_deliver = lambda m: got.append(m.payload)
+    clients[0].multicast(0, "a", 2048)
+    clients[1].multicast(1, "b", 2048)
+    sim.run(until=1.0)
+    assert sorted(got) == ["a", "b"]
+
+
+def test_mencius_interleaved_skip_and_data():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    delivered = {f"mn{i}": [] for i in range(3)}
+    servers = build_mencius(sim, net, 3, on_deliver=lambda n, v: delivered[n].append(v.payload))
+    servers[2].broadcast("only-from-2", 2048)
+    sim.run(until=0.5)
+    servers[0].broadcast("then-from-0", 2048)
+    sim.run(until=1.5)
+    # Order agreed and both delivered, with skips filling the idle owners.
+    orders = list(delivered.values())
+    assert all(o == ["only-from-2", "then-from-0"] for o in orders)

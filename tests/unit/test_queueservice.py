@@ -1,0 +1,69 @@
+"""Tests for the replicated queue service (SMR generality)."""
+
+import pytest
+
+from repro import MultiRingConfig, MultiRingPaxos
+from repro.smr import Command, RangePartitioner, Replica
+from repro.smr.queueservice import QueueService
+
+
+# ---------------------------------------------------------------------------
+# Pure state machine
+# ---------------------------------------------------------------------------
+def test_fifo_semantics():
+    q = QueueService()
+    q.enqueue("a")
+    q.enqueue("b")
+    assert q.peek(2) == ["a", "b"]
+    assert q.dequeue() == "a"
+    assert q.dequeue() == "b"
+    assert q.dequeue() is None
+    assert len(q) == 0
+    assert (q.enqueued, q.dequeued) == (2, 2)
+
+
+def test_capacity_rejection():
+    q = QueueService(capacity=1)
+    assert q.enqueue("a")
+    assert not q.enqueue("b")
+    assert q.rejected == 1
+
+
+def test_apply_dispatch_and_validation():
+    q = QueueService()
+    assert q.apply(Command("enqueue", ("x",))) is True
+    assert q.apply(Command("peek", (1,))) == ["x"]
+    assert q.apply(Command("dequeue", ())) == "x"
+    with pytest.raises(ValueError):
+        q.apply(Command("nope", ()))
+    with pytest.raises(ValueError):
+        q.peek(-1)
+
+
+def test_determinism_across_replicas():
+    a, b = QueueService(), QueueService()
+    script = [("enqueue", ("x",)), ("enqueue", ("y",)), ("dequeue", ()), ("peek", (5,))]
+    for op, args in script:
+        assert a.apply(Command(op, args)) == b.apply(Command(op, args))
+    assert list(a._items) == list(b._items)
+
+
+# ---------------------------------------------------------------------------
+# Replicated end-to-end
+# ---------------------------------------------------------------------------
+def test_replicated_queue_stays_consistent():
+    partitioner = RangePartitioner(1, key_space=16)
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=partitioner.n_groups, lambda_rate=2000.0))
+    replicas = [
+        Replica(mrp, partitioner, 0, QueueService(), name=f"q-replica{i}", respond=False)
+        for i in range(2)
+    ]
+    prop = mrp.add_proposer()
+    for i in range(6):
+        prop.multicast(0, Command("enqueue", (f"job-{i}",)), 256)
+    for _ in range(2):
+        prop.multicast(0, Command("dequeue", ()), 64)
+    mrp.run(until=1.0)
+    q0, q1 = replicas[0].state_machine, replicas[1].state_machine
+    assert list(q0._items) == list(q1._items) == [f"job-{i}" for i in range(2, 6)]
+    assert q0.dequeued == q1.dequeued == 2

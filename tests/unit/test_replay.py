@@ -1,0 +1,81 @@
+"""Tests for trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro import MultiRingConfig, MultiRingPaxos
+from repro.workload.replay import (
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayer,
+    dump_trace,
+    load_trace,
+)
+
+
+def test_recorder_captures_times_groups_sizes():
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2, lambda_rate=0.0))
+    recorder = TraceRecorder(mrp.sim)
+    prop = mrp.add_proposer()
+    send = recorder.wrap(prop.multicast)
+    send(0, "a", 1000)
+    mrp.run(until=0.5)
+    send(1, "b", 2000)
+    assert recorder.records == [
+        TraceRecord(0.0, 0, 1000),
+        TraceRecord(0.5, 1, 2000),
+    ]
+
+
+def test_text_round_trip():
+    records = [TraceRecord(0.0, 0, 100), TraceRecord(1.5, 3, 8192)]
+    buf = io.StringIO()
+    dump_trace(records, buf)
+    buf.seek(0)
+    assert load_trace(buf) == records
+
+
+def test_load_skips_comments_and_blanks():
+    buf = io.StringIO("# header\n\n0.5 1 64\n")
+    assert load_trace(buf) == [TraceRecord(0.5, 1, 64)]
+
+
+def test_replay_reproduces_workload_end_to_end():
+    records = [
+        TraceRecord(0.0, 0, 8192),
+        TraceRecord(0.1, 1, 8192),
+        TraceRecord(0.2, 0, 8192),
+    ]
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2, lambda_rate=2000.0))
+    delivered = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: delivered.append((g, v.payload)))
+    prop = mrp.add_proposer()
+    TraceReplayer(mrp.sim, records, prop.multicast).start()
+    mrp.run(until=1.0)
+    assert [g for g, _ in delivered] == [0, 1, 0]
+    assert [p for _, p in delivered] == ["replay-0", "replay-1", "replay-2"]
+
+
+def test_replay_time_scaling():
+    records = [TraceRecord(0.0, 0, 64), TraceRecord(1.0, 0, 64)]
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=1, lambda_rate=0.0))
+    times = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: times.append(v.created_at))
+    prop = mrp.add_proposer()
+    TraceReplayer(mrp.sim, records, prop.multicast, time_scale=0.5).start()
+    mrp.run(until=2.0)
+    assert times == [pytest.approx(0.0), pytest.approx(0.5)]
+
+
+def test_replay_validates_time_scale():
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=1, lambda_rate=0.0))
+    with pytest.raises(ValueError):
+        TraceReplayer(mrp.sim, [], lambda *a: None, time_scale=0.0)
+
+
+def test_replay_empty_trace_is_noop():
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=1, lambda_rate=0.0))
+    replayer = TraceReplayer(mrp.sim, [], lambda *a: None).start()
+    mrp.run(until=0.1)
+    assert replayer.sent.value == 0

@@ -1,0 +1,73 @@
+"""Tests for report formatting and the CLI plumbing (no experiments run)."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.report import format_table, series_to_rows
+from repro.cli import main
+
+
+# ---------------------------------------------------------------------------
+# format_table
+# ---------------------------------------------------------------------------
+def test_format_table_alignment_and_types():
+    table = format_table(
+        "Title",
+        ["name", "value", "pct"],
+        [("alpha", 123.456, 0.5), ("b", 1.23, 99.0)],
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "-----"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert "alpha" in lines[4]
+    # Floats are compacted: >=100 -> no decimals; >=1 -> one decimal.
+    assert "123" in lines[4]
+    assert "1.2" in lines[5]
+    assert "99" in lines[5]
+
+
+def test_format_table_small_floats_keep_precision():
+    table = format_table("T", ["v"], [(0.123456,)])
+    assert "0.123" in table
+
+
+def test_series_to_rows_thins():
+    series = [(float(i), float(i * 10)) for i in range(20)]
+    thinned = series_to_rows(series, every=5)
+    assert thinned == [(0.0, 0.0), (5.0, 50.0), (10.0, 100.0), (15.0, 150.0)]
+
+
+# ---------------------------------------------------------------------------
+# Figure registry / CLI
+# ---------------------------------------------------------------------------
+def test_figure_registry_covers_all_paper_figures():
+    expected = {"fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "fig10", "fig11", "fig12"}
+    assert expected <= set(FIGURES)
+
+
+def test_run_figure_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        run_figure("fig99")
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "fig12" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_cli_runs_experiment_and_writes_output(tmp_path, capsys, monkeypatch):
+    # Substitute a fast fake figure so the CLI path is tested end to end.
+    monkeypatch.setitem(FIGURES, "fake", lambda: ([(1, 2)], "Fake\n----\ndone"))
+    assert main(["fake", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "done" in out and "completed" in out
+    assert (tmp_path / "fake.txt").read_text().startswith("Fake")

@@ -1,0 +1,191 @@
+"""Unit tests for the FIFO server, CPU, and disk resource models."""
+
+import pytest
+
+from repro.sim import Cpu, Disk, FifoServer, Simulator
+
+
+# ---------------------------------------------------------------------------
+# FifoServer
+# ---------------------------------------------------------------------------
+def test_fifo_single_job_finish_time():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=10.0)
+    finish = srv.submit(5.0)
+    assert finish == pytest.approx(0.5)
+
+
+def test_fifo_jobs_queue_behind_each_other():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    f1 = srv.submit(1.0)
+    f2 = srv.submit(2.0)
+    assert f1 == pytest.approx(1.0)
+    assert f2 == pytest.approx(3.0)
+
+
+def test_fifo_idle_gap_resets_start():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    srv.submit(1.0)
+    sim.run(until=5.0)
+    finish = srv.submit(1.0)
+    assert finish == pytest.approx(6.0)
+
+
+def test_fifo_callback_scheduled_at_finish():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=2.0)
+    done = []
+    srv.submit(1.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.5)]
+
+
+def test_fifo_backlog_time():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    srv.submit(3.0)
+    assert srv.backlog_time == pytest.approx(3.0)
+    sim.run(until=2.0)
+    assert srv.backlog_time == pytest.approx(1.0)
+    sim.run(until=10.0)
+    assert srv.backlog_time == 0.0
+
+
+def test_fifo_busy_between_exact():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    srv.submit(1.0)  # busy [0, 1]
+    sim.run(until=2.0)
+    srv.submit(0.5)  # busy [2, 2.5]
+    sim.run(until=3.0)
+    assert srv.busy_between(0.0, 3.0) == pytest.approx(1.5)
+    assert srv.busy_between(0.5, 2.25) == pytest.approx(0.75)
+    assert srv.busy_between(1.0, 2.0) == pytest.approx(0.0)
+
+
+def test_fifo_utilization_window():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    srv.submit(0.5)
+    sim.run(until=1.0)
+    assert srv.utilization(window=1.0) == pytest.approx(0.5)
+
+
+def test_fifo_merges_contiguous_intervals():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0)
+    for _ in range(100):
+        srv.submit(0.01)
+    # Work is back-to-back: the interval history must have merged to 1.
+    assert len(srv._intervals) == 1
+    assert srv.busy_between(0.0, 2.0) == pytest.approx(1.0)
+
+
+def test_fifo_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FifoServer(sim, rate=0.0)
+    srv = FifoServer(sim, rate=1.0)
+    with pytest.raises(ValueError):
+        srv.submit(-1.0)
+    with pytest.raises(ValueError):
+        srv.utilization(window=0.0)
+
+
+def test_fifo_counters():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=2.0)
+    srv.submit(1.0)
+    srv.submit(3.0)
+    assert srv.jobs_served == 2
+    assert srv.demand_served == pytest.approx(4.0)
+    assert srv.total_busy_time == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Cpu
+# ---------------------------------------------------------------------------
+def test_cpu_execute_charges_and_runs():
+    sim = Simulator()
+    cpu = Cpu(sim, capacity=1.0)
+    ran = []
+    cpu.execute(0.010, ran.append, "job")
+    sim.run()
+    assert ran == ["job"]
+    assert sim.now == pytest.approx(0.010)
+
+
+def test_cpu_saturation_queues_work():
+    sim = Simulator()
+    cpu = Cpu(sim, capacity=1.0)
+    finishes = [cpu.execute(0.010, lambda: None) for _ in range(100)]
+    # 100 jobs of 10 ms on a 1.0 CPU: last finishes at t=1.0.
+    assert finishes[-1] == pytest.approx(1.0)
+    sim.run(until=1.0)
+    assert cpu.utilization(window=1.0) == pytest.approx(1.0)
+
+
+def test_cpu_capacity_scales_service_time():
+    sim = Simulator()
+    fast = Cpu(sim, capacity=2.0)
+    assert fast.execute(1.0, lambda: None) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Disk
+# ---------------------------------------------------------------------------
+def test_disk_write_acks_fast_when_buffer_empty():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=50e6, write_latency=50e-6)
+    ack = disk.write(8192)
+    assert ack == pytest.approx(50e-6)
+
+
+def test_disk_sustained_rate_bounded_by_bandwidth():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0, buffer_bytes=500, write_latency=0.0)
+    # Write 2000 bytes instantly; drain rate is 1000 B/s, buffer 500 B.
+    # The last byte can only be admitted once 1500 bytes have drained.
+    ack = 0.0
+    for _ in range(4):
+        ack = disk.write(500)
+    assert ack == pytest.approx(1.5)
+
+
+def test_disk_backlog_tracks_unflushed_bytes():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0, buffer_bytes=10_000)
+    disk.write(3000)
+    assert disk.backlog_bytes == pytest.approx(3000)
+    sim.run(until=1.0)
+    assert disk.backlog_bytes == pytest.approx(2000)
+
+
+def test_disk_ack_callback():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0, write_latency=0.001)
+    acked = []
+    disk.write(100, lambda: acked.append(sim.now))
+    sim.run()
+    assert acked == [pytest.approx(0.001)]
+
+
+def test_disk_utilization():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0)
+    disk.write(500)
+    sim.run(until=1.0)
+    assert disk.utilization(window=1.0) == pytest.approx(0.5)
+
+
+def test_disk_counters_and_validation():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0)
+    disk.write(100)
+    disk.write(200)
+    assert disk.bytes_written == 300
+    assert disk.writes == 2
+    with pytest.raises(ValueError):
+        Disk(sim, bandwidth=0.0)

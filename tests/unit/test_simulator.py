@@ -1,0 +1,121 @@
+"""Unit tests for the Simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, lambda: fired.append(sim.now))
+    sim.run(until=2.0)
+    assert fired == [1.5]
+    assert sim.now == 2.0
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.pending_events == 1
+    sim.run(until=4.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_with_no_until_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 2.0
+
+
+def test_at_schedules_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.at(0.75, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 0.75
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "no")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_are_honoured():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append((sim.now, n))
+        if n > 0:
+            sim.schedule(1.0, chain, n - 1)
+
+    sim.schedule(1.0, chain, 2)
+    sim.run()
+    assert fired == [(1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_determinism_same_seed_same_draws():
+    draws_a = Simulator(seed=99).random.get("s").random()
+    draws_b = Simulator(seed=99).random.get("s").random()
+    assert draws_a == draws_b
+
+
+def test_different_streams_are_independent():
+    sim = Simulator(seed=1)
+    first = sim.random.get("a").random()
+    # Creating and using another stream must not change "a"'s sequence.
+    sim2 = Simulator(seed=1)
+    sim2.random.get("b").random()
+    second = sim2.random.get("a").random()
+    assert first == second

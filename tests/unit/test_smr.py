@@ -1,0 +1,198 @@
+"""Tests for the partitioned replicated key-value service."""
+
+import pytest
+
+from repro import MultiRingConfig, MultiRingPaxos
+from repro.errors import ConfigurationError
+from repro.smr import (
+    Command,
+    DummyService,
+    KeyValueStore,
+    RangePartitioner,
+    Replica,
+    SmrClient,
+)
+
+
+# ---------------------------------------------------------------------------
+# KeyValueStore (pure state machine)
+# ---------------------------------------------------------------------------
+def test_kvstore_insert_delete_query():
+    kv = KeyValueStore()
+    assert kv.insert(5) and kv.insert(1) and kv.insert(9)
+    assert not kv.insert(5)  # duplicate
+    assert kv.query(0, 10) == [1, 5, 9]
+    assert kv.query(2, 8) == [5]
+    assert kv.delete(5)
+    assert not kv.delete(5)
+    assert kv.query(0, 10) == [1, 9]
+    assert len(kv) == 2 and 1 in kv and 5 not in kv
+
+
+def test_kvstore_apply_dispatch():
+    kv = KeyValueStore()
+    assert kv.apply(Command("insert", (3,))) is True
+    assert kv.apply(Command("query", (0, 10))) == [3]
+    assert kv.apply(Command("delete", (3,))) is True
+    with pytest.raises(ValueError):
+        kv.apply(Command("nope", ()))
+
+
+def test_kvstore_execution_cost_scales_with_result():
+    kv = KeyValueStore(per_op_cost=1e-6, per_result_cost=1e-7)
+    for k in range(100):
+        kv.insert(k)
+    point = kv.execution_cost(Command("insert", (5,)))
+    scan = kv.execution_cost(Command("query", (0, 99)))
+    assert scan == pytest.approx(point + 100 * 1e-7)
+
+
+def test_dummy_service_discards():
+    svc = DummyService()
+    assert svc.apply(Command("anything", ())) is None
+    assert svc.execution_cost(Command("anything", ())) == 0.0
+    assert svc.applied == 1
+
+
+# ---------------------------------------------------------------------------
+# RangePartitioner
+# ---------------------------------------------------------------------------
+def test_partitioner_ranges_cover_key_space():
+    part = RangePartitioner(4, key_space=1000)
+    edges = [part.range_of_partition(p) for p in range(4)]
+    assert edges[0][0] == 0 and edges[-1][1] == 1000
+    for (l1, h1), (l2, h2) in zip(edges, edges[1:]):
+        assert h1 == l2
+
+
+def test_partitioner_key_routing():
+    part = RangePartitioner(4, key_space=1000)
+    assert part.partition_of(0) == 0
+    assert part.partition_of(999) == 3
+    assert part.group_of_key(10) == 0
+
+
+def test_partitioner_range_routing():
+    part = RangePartitioner(4, key_space=1000)
+    assert part.group_of_range(10, 40) == 0  # within partition 0
+    assert part.group_of_range(10, 600) == part.all_group
+    assert part.all_group == 4
+    assert part.n_groups == 5
+
+
+def test_partitioner_replica_subscriptions_and_intersection():
+    part = RangePartitioner(4, key_space=1000)
+    assert part.groups_for_replica(2) == [2, 4]
+    assert part.intersects(0, 0, 100)
+    assert not part.intersects(3, 0, 100)
+    assert part.intersects(1, 200, 900)
+
+
+def test_partitioner_validation():
+    with pytest.raises(ConfigurationError):
+        RangePartitioner(0)
+    part = RangePartitioner(2, key_space=100)
+    with pytest.raises(ConfigurationError):
+        part.partition_of(100)
+    with pytest.raises(ConfigurationError):
+        part.group_of_range(5, 4)
+    with pytest.raises(ConfigurationError):
+        part.range_of_partition(2)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end replicated service
+# ---------------------------------------------------------------------------
+def deploy_service(n_partitions=2, replicas_per_partition=1, **cfg):
+    cfg.setdefault("lambda_rate", 2000.0)
+    part = RangePartitioner(n_partitions, key_space=1000)
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=part.n_groups, **cfg))
+    replicas = []
+    for p in range(n_partitions):
+        for r in range(replicas_per_partition):
+            replicas.append(
+                Replica(mrp, part, p, KeyValueStore(), name=f"replica-p{p}-{r}")
+            )
+    client = SmrClient(mrp, part, replicas_per_partition=replicas_per_partition)
+    return mrp, part, replicas, client
+
+
+def test_insert_and_single_partition_query():
+    mrp, part, replicas, client = deploy_service()
+    results = []
+    client.insert(10)
+    client.insert(20)
+    client.insert(700)
+    mrp.run(until=1.0)
+    client.query(0, 100, on_done=results.append)
+    mrp.run(until=2.0)
+    assert results == [[10, 20]]
+
+
+def test_multi_partition_query_merges_results():
+    mrp, part, replicas, client = deploy_service()
+    results = []
+    for key in (10, 600, 20, 900):
+        client.insert(key)
+    mrp.run(until=1.0)
+    client.query(0, 999, on_done=results.append)
+    mrp.run(until=2.0)
+    assert results == [[10, 20, 600, 900]]
+
+
+def test_delete_propagates():
+    mrp, part, replicas, client = deploy_service()
+    results = []
+    client.insert(42)
+    mrp.run(until=1.0)
+    client.delete(42)
+    mrp.run(until=2.0)
+    client.query(0, 100, on_done=results.append)
+    mrp.run(until=3.0)
+    assert results == [[]]
+
+
+def test_single_partition_requests_skip_other_partitions():
+    mrp, part, replicas, client = deploy_service()
+    client.insert(10)  # partition 0
+    mrp.run(until=1.0)
+    p0, p1 = replicas
+    assert p0.executed.value == 1
+    assert p1.executed.value == 0
+
+
+def test_cross_partition_query_discarded_by_unconcerned():
+    mrp, part, replicas, client = deploy_service(n_partitions=4)
+    client.insert(10)
+    mrp.run(until=1.0)
+    # Range spans partitions 0 and 1 only, but goes to g_all.
+    client.query(0, 400)
+    mrp.run(until=2.0)
+    assert replicas[2].discarded.value == 1
+    assert replicas[3].discarded.value == 1
+    assert replicas[0].executed.value == 2  # insert + query
+    assert replicas[1].executed.value == 1  # query only
+
+
+def test_replicated_partition_stays_consistent():
+    mrp, part, replicas, client = deploy_service(replicas_per_partition=2)
+    results = []
+    for key in (1, 2, 3):
+        client.insert(key)
+    mrp.run(until=1.0)
+    client.query(0, 499, on_done=results.append)
+    mrp.run(until=2.0)
+    assert results == [[1, 2, 3]]
+    # Both replicas of partition 0 executed everything identically.
+    r0a, r0b = [r for r in replicas if r.partition == 0]
+    assert r0a.executed.value == r0b.executed.value == 4
+    assert client.completions.value == 4  # no double counting
+
+
+def test_request_latency_recorded():
+    mrp, part, replicas, client = deploy_service()
+    client.insert(5)
+    mrp.run(until=1.0)
+    assert client.request_latency.count == 1
+    assert 0 < client.request_latency.mean < 0.1
+    assert client.outstanding == 0

@@ -1,0 +1,67 @@
+"""Tests for the tracing instrument."""
+
+from repro.calibration import DEFAULT_VALUE_SIZE
+from repro.ringpaxos import build_ring
+from repro.sim import Network, Simulator
+from repro.sim.trace import TraceEvent, Tracer, trace_network
+
+
+def test_record_and_query():
+    t = Tracer()
+    t.record(0.001, "send", "a", "x")
+    t.record(0.002, "recv", "b", "y")
+    t.record(0.003, "send", "a", "z")
+    assert len(t.events) == 3
+    assert [e.detail for e in t.by_category("send")] == ["x", "z"]
+    assert [e.detail for e in t.by_source("b")] == ["y"]
+    assert [e.detail for e in t.between(0.0015, 0.0025)] == ["y"]
+
+
+def test_filters_apply():
+    t = Tracer()
+    t.add_filter(lambda e: e.category == "send")
+    t.record(0.0, "send", "a", "keep")
+    t.record(0.0, "recv", "a", "drop")
+    assert [e.detail for e in t.events] == ["keep"]
+
+
+def test_bounded_recording():
+    t = Tracer(max_events=2)
+    for i in range(5):
+        t.record(0.0, "c", "s", str(i))
+    assert len(t.events) == 2
+    assert t.dropped == 3
+    t.clear()
+    assert t.events == [] and t.dropped == 0
+
+
+def test_render_and_timeline():
+    t = Tracer()
+    t.record(0.0012, "send", "node-a", "hello")
+    line = t.events[0].render()
+    assert "1.200ms" in line and "node-a" in line and "hello" in line
+    assert t.timeline() == line
+
+
+def test_trace_network_captures_protocol_exchange():
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    tracer = Tracer()
+    trace_network(sim, net, tracer)
+    ring = build_ring(sim, net)
+    ring.proposers[0].multicast("m", DEFAULT_VALUE_SIZE)
+    sim.run(until=0.1)
+    kinds = {e.detail.split()[3] for e in tracer.events if len(e.detail.split()) > 3}
+    # The full Figure 3 exchange is visible: Submit, 2A, 2B, acks.
+    details = " ".join(e.detail for e in tracer.events)
+    assert "Submit" in details
+    assert "Phase2A" in details
+    assert "Phase2B" in details
+    assert "SubmitAck" in details
+    multicasts = tracer.by_category("multicast")
+    assert multicasts, "the 2A must be an ip-multicast"
+
+
+def test_trace_event_is_value_object():
+    e = TraceEvent(time=1.0, category="c", source="s", detail="d")
+    assert e == TraceEvent(time=1.0, category="c", source="s", detail="d")

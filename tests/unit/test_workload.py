@@ -1,0 +1,207 @@
+"""Tests for rate schedules and load generators."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workload import (
+    ClosedLoopGenerator,
+    ConstantRate,
+    OpenLoopGenerator,
+    OscillatingRate,
+    ScaledRate,
+    StepRate,
+)
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+def test_constant_rate():
+    r = ConstantRate(100.0)
+    assert r.rate_at(0.0) == r.rate_at(999.0) == 100.0
+    with pytest.raises(ValueError):
+        ConstantRate(-1.0)
+
+
+def test_step_rate_transitions():
+    r = StepRate([(0.0, 10.0), (20.0, 20.0), (40.0, 30.0)])
+    assert r.rate_at(5.0) == 10.0
+    assert r.rate_at(20.0) == 20.0
+    assert r.rate_at(39.9) == 20.0
+    assert r.rate_at(100.0) == 30.0
+
+
+def test_step_rate_before_first_step_is_zero():
+    r = StepRate([(10.0, 5.0)])
+    assert r.rate_at(0.0) == 0.0
+
+
+def test_step_rate_validation():
+    with pytest.raises(ValueError):
+        StepRate([])
+    with pytest.raises(ValueError):
+        StepRate([(10.0, 1.0), (5.0, 2.0)])
+    with pytest.raises(ValueError):
+        StepRate([(0.0, -1.0)])
+
+
+def test_oscillating_rate_averages_to_base():
+    r = OscillatingRate(base=100.0, amplitude=0.5, period=10.0)
+    samples = [r.rate_at(t / 10.0) for t in range(1000)]
+    assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.02)
+    assert min(samples) >= 0.0
+    assert max(samples) <= 150.0 + 1e-9
+
+
+def test_oscillating_rate_validation():
+    with pytest.raises(ValueError):
+        OscillatingRate(base=-1.0)
+    with pytest.raises(ValueError):
+        OscillatingRate(base=1.0, amplitude=2.0)
+    with pytest.raises(ValueError):
+        OscillatingRate(base=1.0, period=0.0)
+
+
+def test_scaled_rate():
+    r = ScaledRate(ConstantRate(100.0), 2.0)
+    assert r.rate_at(1.0) == 200.0
+    with pytest.raises(ValueError):
+        ScaledRate(ConstantRate(1.0), -1.0)
+
+
+# ---------------------------------------------------------------------------
+# OpenLoopGenerator
+# ---------------------------------------------------------------------------
+def test_open_loop_hits_target_rate():
+    sim = Simulator()
+    sends = []
+    gen = OpenLoopGenerator(sim, lambda: sends.append(sim.now), ConstantRate(100.0))
+    gen.start()
+    sim.run(until=1.0)
+    assert len(sends) == pytest.approx(100, abs=2)
+
+
+def test_open_loop_follows_steps():
+    sim = Simulator()
+    sends = []
+    schedule = StepRate([(0.0, 10.0), (1.0, 100.0)])
+    OpenLoopGenerator(sim, lambda: sends.append(sim.now), schedule).start()
+    sim.run(until=2.0)
+    first = [t for t in sends if t < 1.0]
+    second = [t for t in sends if t >= 1.0]
+    # Rate gaps are re-evaluated per send, so the boundary shifts by up to
+    # one pre-step gap; assert the 10x shape rather than exact counts.
+    assert len(first) == pytest.approx(10, abs=2)
+    assert len(second) == pytest.approx(100, abs=15)
+    assert len(second) >= 5 * len(first)
+
+
+def test_open_loop_stop_at():
+    sim = Simulator()
+    sends = []
+    OpenLoopGenerator(
+        sim, lambda: sends.append(sim.now), ConstantRate(100.0), stop_at=0.5
+    ).start()
+    sim.run(until=2.0)
+    assert all(t < 0.5 for t in sends)
+    assert len(sends) == pytest.approx(50, abs=2)
+
+
+def test_open_loop_zero_rate_polls_until_nonzero():
+    sim = Simulator()
+    sends = []
+    schedule = StepRate([(0.5, 100.0)])  # silent first half second
+    OpenLoopGenerator(sim, lambda: sends.append(sim.now), schedule).start()
+    sim.run(until=1.0)
+    assert sends and min(sends) >= 0.5
+    assert len(sends) == pytest.approx(50, abs=3)
+
+
+def test_open_loop_manual_stop():
+    sim = Simulator()
+    sends = []
+    gen = OpenLoopGenerator(sim, lambda: sends.append(sim.now), ConstantRate(100.0)).start()
+    sim.run(until=0.25)
+    gen.stop()
+    sim.run(until=1.0)
+    assert all(t <= 0.26 for t in sends)
+
+
+# ---------------------------------------------------------------------------
+# ClosedLoopGenerator
+# ---------------------------------------------------------------------------
+class FakeEnvelope:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def test_closed_loop_fills_window():
+    sim = Simulator()
+    sent = []
+
+    def send():
+        env = FakeEnvelope(len(sent))
+        sent.append(env)
+        return env
+
+    gen = ClosedLoopGenerator(sim, send, window=4).start()
+    sim.run(until=0.1)
+    assert len(sent) == 4
+    assert gen.outstanding == 4
+
+
+def test_closed_loop_refills_on_completion():
+    sim = Simulator()
+    sent = []
+
+    def send():
+        env = FakeEnvelope(len(sent))
+        sent.append(env)
+        return env
+
+    gen = ClosedLoopGenerator(sim, send, window=2).start()
+    sim.run(until=0.1)
+    gen.notify(0)
+    gen.notify(1)
+    assert len(sent) == 4
+    assert gen.completions.value == 2
+
+
+def test_closed_loop_ignores_unknown_and_duplicate_completions():
+    sim = Simulator()
+    sent = []
+
+    def send():
+        env = FakeEnvelope(len(sent))
+        sent.append(env)
+        return env
+
+    gen = ClosedLoopGenerator(sim, send, window=1).start()
+    sim.run(until=0.1)
+    gen.notify(99)  # never sent
+    gen.notify(0)
+    gen.notify(0)  # duplicate
+    assert gen.completions.value == 1
+    assert len(sent) == 2
+
+
+def test_closed_loop_stop_blocks_refill():
+    sim = Simulator()
+    sent = []
+
+    def send():
+        env = FakeEnvelope(len(sent))
+        sent.append(env)
+        return env
+
+    gen = ClosedLoopGenerator(sim, send, window=1).start()
+    sim.run(until=0.1)
+    gen.stop()
+    gen.notify(0)
+    assert len(sent) == 1
+
+
+def test_closed_loop_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClosedLoopGenerator(sim, lambda: None, window=0)
