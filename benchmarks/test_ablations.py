@@ -16,7 +16,7 @@ makes in prose:
 
 from repro.bench import emit, format_table
 from repro.calibration import DEFAULT_VALUE_SIZE, bytes_per_s_to_mbps, mbps_to_bytes_per_s
-from repro.core import MultiRingConfig, MultiRingPaxos, SkipManager
+from repro.core import SkipManager
 from repro.sim import Network, Simulator
 from repro.ringpaxos import build_ring
 from repro.workload import ConstantRate, OpenLoopGenerator

@@ -1,0 +1,54 @@
+"""Observability cross-check — saturation attribution on the Figure 1 knee.
+
+Paper: at offered loads past ~700 Mbps the in-memory ring is CPU-bound at
+the coordinator (Section VI-A).  Here the same conclusion must fall out of
+the observability layer alone: run one saturating Figure-1 point under an
+``ObsSession``, then recover "which resource saturated" and the delivery
+counters *from the emitted JSONL trace*, not from the in-process objects.
+"""
+
+from repro.bench.report import read_jsonl
+from repro.bench.runner import run_single_ring_point
+from repro.obs import ObsSession
+
+
+def test_obs_trace_attributes_fig1_saturation(benchmark, tmp_path):
+    path = tmp_path / "fig1_knee.jsonl"
+
+    def run():
+        with ObsSession(emit_path=str(path)) as session:
+            point = run_single_ring_point(750.0, durable=False)
+        return point, session
+
+    point, session = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The run itself sits on the CPU-bound knee.
+    assert point.cpu_pct >= 90.0
+
+    # In-process view: the profiler blames a coordinator resource.
+    summary = session.saturation_summary()
+    assert summary, "a saturating run must produce a saturation summary"
+    _, top = summary[0]
+    assert top.component.startswith("r0-coord."), top.component
+    assert top.utilization >= 0.90
+
+    # Offline view: the same attribution is recoverable from the JSONL
+    # trace alone (what a plotting script would consume).
+    profile = read_jsonl(str(path), type="profile")
+    assert profile, "trace must contain profile rows"
+    top_row = max(profile, key=lambda r: r["utilization"])
+    assert top_row["component"].startswith("r0-coord.")
+    assert top_row["component"].split(".", 1)[1] in ("cpu", "nic.tx", "nic.rx")
+    assert top_row["utilization"] >= 0.90
+
+    # Delivery throughput is also recoverable from the metric records.
+    metrics = read_jsonl(str(path), type="metric")
+    delivered = [
+        r
+        for r in metrics
+        if r["metric"] == "delivered_bytes" and r["labels"].get("role") == "learner"
+    ]
+    assert delivered and delivered[0]["value"] > 0
+
+    meta = read_jsonl(str(path), type="meta")
+    assert meta and meta[0]["simulators"] >= 1

@@ -7,10 +7,11 @@ paper-vs-measured expectation line, and appends everything to
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "emit", "series_to_rows"]
+__all__ = ["format_table", "emit", "series_to_rows", "read_jsonl", "write_jsonl"]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
 
@@ -57,3 +58,31 @@ def series_to_rows(
 ) -> list[tuple[float, float]]:
     """Thin a per-second series to every ``every``-th sample for printing."""
     return [point for i, point in enumerate(series) if i % every == 0]
+
+
+def write_jsonl(path: str, records: Iterable[dict[str, Any]]) -> int:
+    """Write ``records`` as one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, default=str) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str, type: str | None = None) -> list[dict[str, Any]]:
+    """Load an observability trace written by the JSONL exporter.
+
+    ``type`` filters on the record tag (``probe`` / ``metric`` /
+    ``profile`` / ``meta``); blank lines are ignored.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if type is None or record.get("type") == type:
+                records.append(record)
+    return records

@@ -183,15 +183,15 @@ def run_multiring_point(
             learner.on_deliver = completion_hook
 
     end = warmup + duration
-    delivered = _window(lambda: sum(l.delivered_bytes.value for l in learners), sim, warmup)
-    messages = _window(lambda: sum(l.delivered_messages.value for l in learners), sim, warmup)
+    delivered = _window(lambda: sum(ln.delivered_bytes.value for ln in learners), sim, warmup)
+    messages = _window(lambda: sum(ln.delivered_messages.value for ln in learners), sim, warmup)
     sim.run(until=end)
     cpu = max(
         handle.coordinator.node.cpu.busy_between(warmup, end) / duration
         for handle in mrp.rings.values()
     )
-    learner_cpu = max(l.node.cpu.busy_between(warmup, end) / duration for l in learners)
-    latencies = [l.latency.trimmed_mean() for l in learners if l.latency.count]
+    learner_cpu = max(ln.node.cpu.busy_between(warmup, end) / duration for ln in learners)
+    latencies = [ln.latency.trimmed_mean() for ln in learners if ln.latency.count]
     mode = "DISK M-RP" if durable else "RAM M-RP"
     return PointResult(
         label=f"{mode} x{n_rings}" + (" (all-groups learner)" if subscribe_all else ""),
@@ -205,8 +205,8 @@ def run_multiring_point(
             "learner_cpu_pct": 100.0 * learner_cpu,
             "learner_ingress_pct": 100.0
             * max(
-                mrp.network.nic(l.node.name).ingress.busy_between(warmup, end) / duration
-                for l in learners
+                mrp.network.nic(ln.node.name).ingress.busy_between(warmup, end) / duration
+                for ln in learners
             ),
         },
     )
@@ -250,7 +250,7 @@ def run_partitioned_single_ring_point(
     for learner in learners:
         learner.on_deliver = hook
     end = warmup + duration
-    delivered = _window(lambda: sum(l.delivered_bytes.value for l in learners), sim, warmup)
+    delivered = _window(lambda: sum(ln.delivered_bytes.value for ln in learners), sim, warmup)
     sim.run(until=end)
     return PointResult(
         label=f"partitioned x{n_partitions} (1 ring)",

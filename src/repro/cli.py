@@ -40,6 +40,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each table to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--emit-metrics",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL observability trace (profile rows + metric "
+        "snapshots for every simulator the run creates) to FILE",
+    )
     return parser
 
 
@@ -60,19 +67,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(FIGURES))}", file=sys.stderr)
         return 2
-    for name in names:
-        started = time.time()
-        _, table = run_figure(name)
-        elapsed = time.time() - started
-        print()
-        print(table)
-        print(f"[{name} completed in {elapsed:.1f}s]")
-        if args.out:
-            os.makedirs(args.out, exist_ok=True)
-            path = os.path.join(args.out, f"{name}.txt")
-            with open(path, "w", encoding="utf-8") as fh:
-                fh.write(table + "\n")
-            print(f"[written to {path}]")
+    session = None
+    if args.emit_metrics:
+        from .obs import ObsSession
+
+        # Fail fast on an unwritable path: the trace is only flushed at the
+        # end, and discovering a typo after minutes of simulation loses it.
+        try:
+            with open(args.emit_metrics, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write metrics trace {args.emit_metrics!r}: {exc}", file=sys.stderr)
+            return 2
+        session = ObsSession(emit_path=args.emit_metrics)
+        session.__enter__()
+    try:
+        for name in names:
+            started = time.time()
+            _, table = run_figure(name)
+            elapsed = time.time() - started
+            print()
+            print(table)
+            print(f"[{name} completed in {elapsed:.1f}s]")
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, f"{name}.txt")
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(table + "\n")
+                print(f"[written to {path}]")
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
+            for sim_index, row in session.saturation_summary():
+                print(
+                    f"[sim {sim_index}: saturated resource {row.component} "
+                    f"({row.utilization * 100:.1f}% busy)]"
+                )
+            print(
+                f"[observability trace: {session.writer.records_written} "
+                f"records written to {args.emit_metrics}]"
+            )
     return 0
 
 

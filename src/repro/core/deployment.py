@@ -24,6 +24,7 @@ from typing import Callable
 
 from ..calibration import DISK_BANDWIDTH_BYTES_PER_S, DISK_BUFFER_BYTES
 from ..errors import ConfigurationError
+from ..metrics import MetricsRegistry
 from ..ringpaxos.acceptor import RingAcceptor
 from ..ringpaxos.config import RingConfig
 from ..ringpaxos.coordinator import RingCoordinator
@@ -65,6 +66,9 @@ class MultiRingPaxos:
         self.config = config if config is not None else MultiRingConfig()
         self.sim = sim if sim is not None else Simulator(seed=self.config.seed)
         self.network = network if network is not None else Network(self.sim)
+        # One root registry for the whole deployment; every role creates
+        # its metrics in a labeled child (ring=i, role=..., node=...).
+        self.metrics = MetricsRegistry()
         self.registry = GroupRegistry()
         self.rings: dict[int, RingHandle] = {}
         self.learners: list[MultiRingLearner] = []
@@ -102,12 +106,19 @@ class MultiRingPaxos:
             )
             self.network.add_node(node)
             nodes.append(node)
-        coordinator = RingCoordinator(self.sim, self.network, nodes[-1], ring_config)
+        coordinator = RingCoordinator(
+            self.sim, self.network, nodes[-1], ring_config, metrics=self.metrics
+        )
         acceptors = [
-            RingAcceptor(self.sim, self.network, node, ring_config) for node in nodes[:-1]
+            RingAcceptor(self.sim, self.network, node, ring_config, metrics=self.metrics)
+            for node in nodes[:-1]
         ]
         skip_manager = SkipManager(
-            self.sim, coordinator, lambda_rate=cfg.lambda_rate, delta=cfg.delta
+            self.sim,
+            coordinator,
+            lambda_rate=cfg.lambda_rate,
+            delta=cfg.delta,
+            metrics=self.metrics,
         )
         spares = []
         for i in range(cfg.spares_per_ring):
@@ -137,6 +148,7 @@ class MultiRingPaxos:
                 on_new_coordinator=(
                     lambda coord, ring_id=ring_id: self._on_ring_failover(ring_id, coord)
                 ),
+                metrics=self.metrics,
             )
         return handle
 
@@ -174,6 +186,7 @@ class MultiRingPaxos:
             buffer_limit=self.config.buffer_limit,
             learner_index=self._learner_count,
             series_bucket=self.config.series_bucket,
+            metrics=self.metrics,
         )
         self._learner_count += 1
         self.learners.append(learner)
@@ -186,7 +199,8 @@ class MultiRingPaxos:
         node = Node(self.sim, name)
         self.network.add_node(node)
         proposer = MultiRingProposer(
-            self.sim, self.network, node, self.registry, self.ring_configs
+            self.sim, self.network, node, self.registry, self.ring_configs,
+            metrics=self.metrics,
         )
         self._proposer_count += 1
         self.proposers.append(proposer)
@@ -229,6 +243,7 @@ class MultiRingPaxos:
             coordinator,
             lambda_rate=self.config.lambda_rate,
             delta=self.config.delta,
+            metrics=self.metrics,
         )
         # Inherit the rate-accounting epoch: the first tick then covers
         # the entire outage, exactly like a restarted coordinator's would.

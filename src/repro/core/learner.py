@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable
 
 
-from ..metrics import BucketSeries, Counter, LatencyHistogram
+from ..metrics import BucketSeries, Counter, MetricsRegistry
 from ..ringpaxos.config import RingConfig
 from ..ringpaxos.learner import RingLearner
 from ..ringpaxos.messages import ClientValue, DataBatch, SkipRange
@@ -64,6 +64,7 @@ class MultiRingLearner(Process):
         buffer_limit: int = 200_000,
         learner_index: int = 0,
         series_bucket: float = 1.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"mrlearner@{node.name}")
         if not subscriptions:
@@ -74,17 +75,24 @@ class MultiRingLearner(Process):
         self.subscriptions = sorted(set(subscriptions))
         self.on_deliver = on_deliver
         self.m = m
-        self.delivered_messages = Counter("delivered_messages")
-        self.delivered_bytes = Counter("delivered_bytes")
-        self.discarded_messages = Counter("discarded_messages")
-        self.latency = LatencyHistogram("delivery_latency")
-        self.delivery_series = BucketSeries(series_bucket, "delivered_bytes_per_s")
-        self.latency_series = BucketSeries(series_bucket, "latency_mean")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(role="learner", node=node.name)
+        self.delivered_messages = self.metrics.counter("delivered_messages")
+        self.delivered_bytes = self.metrics.counter("delivered_bytes")
+        self.discarded_messages = self.metrics.counter("discarded_messages")
+        self.latency = self.metrics.histogram("delivery_latency")
+        self.delivery_series = self.metrics.series(
+            "delivered_bytes_per_s", bucket_width=series_bucket
+        )
+        self.latency_series = self.metrics.series("latency_mean", bucket_width=series_bucket)
         self.group_bytes: dict[int, Counter] = {
-            gid: Counter(f"g{gid}.delivered_bytes") for gid in self.subscriptions
+            gid: self.metrics.counter("delivered_bytes", group=gid)
+            for gid in self.subscriptions
         }
         self.group_series: dict[int, BucketSeries] = {
-            gid: BucketSeries(series_bucket, f"g{gid}.delivered_bytes_per_s")
+            gid: self.metrics.series(
+                "delivered_bytes_per_s", bucket_width=series_bucket, group=gid
+            )
             for gid in self.subscriptions
         }
         ring_order = registry.rings_for(self.subscriptions)
@@ -94,6 +102,7 @@ class MultiRingLearner(Process):
             on_deliver=self._merged_delivery,
             buffer_limit=buffer_limit,
             on_halt=self._on_halt,
+            metrics=self.metrics,
         )
         self.ring_learners: dict[int, RingLearner] = {}
         for ring_id in ring_order:
@@ -106,6 +115,7 @@ class MultiRingLearner(Process):
                 learner_index=learner_index,
                 on_decide=self._make_ring_feed(ring_id),
                 series_bucket=series_bucket,
+                metrics=base,
             )
 
     # ------------------------------------------------------------------

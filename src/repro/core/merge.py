@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from ..metrics import Counter, Gauge
+from ..metrics import Gauge, MetricsRegistry
 from ..ringpaxos.messages import ClientValue, DataBatch, SkipRange
 
 __all__ = ["DeterministicMerge"]
@@ -47,6 +47,9 @@ class DeterministicMerge:
         Halt threshold, in buffered logical instances across all rings.
     on_halt:
         Optional callback invoked once when the buffer overflows.
+    metrics:
+        Registry for the merge counters plus per-ring queue-depth gauges
+        (``merge_queue_depth{ring=i}``). A private registry when None.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class DeterministicMerge:
         on_deliver: Callable[[int, int, ClientValue], None],
         buffer_limit: int = 200_000,
         on_halt: Callable[[], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not ring_order:
             raise ValueError("merge needs at least one ring")
@@ -70,10 +74,14 @@ class DeterministicMerge:
         self.on_halt = on_halt
         self.halted = False
         self.halted_at: float | None = None
-        self.delivered_messages = Counter("merge_delivered")
-        self.consumed_instances = Counter("merge_consumed_instances")
-        self.skipped_instances = Counter("merge_skipped_instances")
-        self.buffered_instances = Gauge("merge_buffered_instances")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.delivered_messages = self.metrics.counter("merge_delivered")
+        self.consumed_instances = self.metrics.counter("merge_consumed_instances")
+        self.skipped_instances = self.metrics.counter("merge_skipped_instances")
+        self.buffered_instances = self.metrics.gauge("merge_buffered_instances")
+        self.queue_gauges: dict[int, Gauge] = {
+            rid: self.metrics.gauge("merge_queue_depth", ring=rid) for rid in ring_order
+        }
         # Per-ring FIFO of in-order decided items. Skip ranges are stored
         # as [remaining_count] so they can be consumed incrementally.
         self._queues: dict[int, deque] = {rid: deque() for rid in ring_order}
@@ -89,9 +97,11 @@ class DeterministicMerge:
         if isinstance(item, SkipRange):
             queue.append([item.count])
             self.buffered_instances.add(item.count)
+            self.queue_gauges[ring_id].add(item.count)
         else:
             queue.append((instance, item))
             self.buffered_instances.add(1)
+            self.queue_gauges[ring_id].add(1)
         if self.halted:
             return
         if self.buffered_instances.value > self.buffer_limit:
@@ -121,12 +131,14 @@ class DeterministicMerge:
                     self.skipped_instances.inc(take)
                     self.consumed_instances.inc(take)
                     self.buffered_instances.add(-take)
+                    self.queue_gauges[ring_id].add(-take)
                     consumed_any = True
                 else:
                     instance, batch = queue.popleft()
                     self._quota -= 1
                     self.consumed_instances.inc()
                     self.buffered_instances.add(-1)
+                    self.queue_gauges[ring_id].add(-1)
                     for value in batch.values:
                         self.delivered_messages.inc()
                         self.on_deliver(ring_id, instance, value)

@@ -9,7 +9,7 @@ node's NIC.
 
 from __future__ import annotations
 
-from ..metrics import Counter
+from ..metrics import MetricsRegistry
 from ..ringpaxos.config import RingConfig
 from ..ringpaxos.messages import ClientValue
 from ..ringpaxos.proposer import RingProposer
@@ -31,14 +31,17 @@ class MultiRingProposer(Process):
         node: Node,
         registry: GroupRegistry,
         ring_configs: dict[int, RingConfig],
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"mrproposer@{node.name}")
         self.network = network
         self.node = node
         self.registry = registry
         self.ring_configs = ring_configs
-        self.multicasts = Counter("multicasts")
-        self.multicast_bytes = Counter("multicast_bytes")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(role="proposer", node=node.name)
+        self.multicasts = self.metrics.counter("multicasts")
+        self.multicast_bytes = self.metrics.counter("multicast_bytes")
         self._ring_proposers: dict[int, RingProposer] = {}
 
     def multicast(self, group_id: int, payload: object, size: int) -> ClientValue:

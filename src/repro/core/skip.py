@@ -19,7 +19,7 @@ Algorithm 1 line 16 (``skip <- prev_k + Δλ``).
 
 from __future__ import annotations
 
-from ..metrics import Counter
+from ..metrics import MetricsRegistry
 from ..ringpaxos.coordinator import RingCoordinator
 from ..sim.process import PeriodicTimer, Process
 
@@ -36,6 +36,7 @@ class SkipManager(Process):
         lambda_rate: float,
         delta: float,
         batch_skips: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"skipmgr/{coordinator.name}")
         if delta <= 0:
@@ -53,9 +54,12 @@ class SkipManager(Process):
         self.prev_k = coordinator.planned_instance
         self.prev_time = sim.now
         self._last_mu = 0.0
-        self.intervals_sampled = Counter("intervals_sampled")
-        self.skip_batches = Counter("skip_batches")
-        self.skips_proposed = Counter("skips_proposed")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(ring=coordinator.config.ring_id, role="skipmgr")
+        self.intervals_sampled = self.metrics.counter("intervals_sampled")
+        self.skip_batches = self.metrics.counter("skip_batches")
+        self.skips_proposed = self.metrics.counter("skips_proposed")
+        self.mu_gauge = self.metrics.gauge("observed_rate")
         self._timer = PeriodicTimer(sim, delta, self._tick)
         if lambda_rate > 0:
             self._timer.start()
@@ -74,6 +78,7 @@ class SkipManager(Process):
             return
         k = self.coordinator.planned_instance
         self._last_mu = (k - self.prev_k) / elapsed
+        self.mu_gauge.set(self._last_mu)
         self.intervals_sampled.inc()
         target = self.prev_k + int(round(self.lambda_rate * elapsed))
         if target > k:

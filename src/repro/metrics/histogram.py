@@ -27,6 +27,7 @@ class LatencyHistogram:
         self.max_samples = max_samples
         self.count = 0
         self.total = 0.0
+        self._total_comp = 0.0  # Neumaier compensation term for ``total``
         self._samples: list[float] = []
         self._stride = 1
 
@@ -35,7 +36,15 @@ class LatencyHistogram:
         if value < 0:
             raise ValueError("latency samples must be non-negative")
         self.count += 1
-        self.total += value
+        # Compensated (Neumaier) running sum: a naive ``total += value``
+        # loses low-order bits, enough to push the mean of identical
+        # samples below the sample value itself.
+        t = self.total + value
+        if abs(self.total) >= abs(value):
+            self._total_comp += (self.total - t) + value
+        else:
+            self._total_comp += (value - t) + self.total
+        self.total = t
         if self.count % self._stride == 0:
             self._samples.append(value)
             if len(self._samples) >= self.max_samples:
@@ -46,12 +55,15 @@ class LatencyHistogram:
     @property
     def mean(self) -> float:
         """Arithmetic mean of all recorded samples (0.0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        return (self.total + self._total_comp) / self.count if self.count else 0.0
 
     def trimmed_mean(self, discard_top_fraction: float = 0.05) -> float:
         """Mean after dropping the highest ``discard_top_fraction`` samples.
 
         This is the latency statistic the paper reports (top 5% removed).
+        The result is exactly summed (``math.fsum``) and clamped to the
+        range of the kept samples, so identical samples always yield that
+        sample value rather than one ulp below it.
         """
         if not 0.0 <= discard_top_fraction < 1.0:
             raise ValueError("discard fraction must be in [0, 1)")
@@ -60,7 +72,8 @@ class LatencyHistogram:
         ordered = sorted(self._samples)
         keep = max(1, math.ceil(len(ordered) * (1.0 - discard_top_fraction)))
         kept = ordered[:keep]
-        return sum(kept) / len(kept)
+        result = math.fsum(kept) / len(kept)
+        return min(max(result, kept[0]), kept[-1])
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0 <= p <= 100) of retained samples."""

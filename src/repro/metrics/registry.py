@@ -1,63 +1,158 @@
-"""A namespaced registry of metric objects.
+"""A namespaced registry of metric objects, with label support.
 
 Protocol components create their metrics through a shared registry so
 that benchmarks and tests can discover them by name without threading
 references through every constructor.
+
+Metrics can carry **labels** (``ring=2``, ``role="coordinator"``), so the
+same logical metric is tracked separately per ring/role/node and can be
+aggregated or filtered at export time. A :meth:`MetricsRegistry.child`
+registry shares its parent's storage but stamps every metric it creates
+with preset labels — this is how per-ring child registries are handed to
+coordinators, acceptors and learners.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Iterator
 
 from .counters import Counter, Gauge
 from .histogram import LatencyHistogram
 from .timeseries import BucketSeries
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "observe_registries"]
+
+Labels = tuple[tuple[str, str], ...]
+
+# Observers notified whenever a *root* registry is created (child registries
+# share their parent's storage and are not announced). The observability
+# session uses this to discover every deployment's metrics without any
+# explicit plumbing. Empty by default: zero overhead when nothing observes.
+_registry_observers: list[Callable[["MetricsRegistry"], None]] = []
+
+
+def observe_registries(callback: Callable[["MetricsRegistry"], None]) -> Callable[[], None]:
+    """Call ``callback(registry)`` for every root registry created from now.
+
+    Returns a zero-argument remover that uninstalls the observer.
+    """
+    _registry_observers.append(callback)
+
+    def remove() -> None:
+        if callback in _registry_observers:
+            _registry_observers.remove(callback)
+
+    return remove
+
+
+def _label_key(labels: dict[str, object]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _full_name(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class MetricsRegistry:
-    """Creates-or-returns metric objects keyed by dotted name.
+    """Creates-or-returns metric objects keyed by dotted name + labels.
 
     >>> reg = MetricsRegistry()
     >>> reg.counter("ring0.delivered").inc()
     >>> reg.counter("ring0.delivered").value
     1.0
+    >>> ring2 = reg.child(ring=2)
+    >>> ring2.counter("delivered") is reg.counter("delivered", ring=2)
+    True
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
-        self._series: dict[str, BucketSeries] = {}
+        self._store: dict[tuple[str, str, Labels], object] = {}
+        self._labels: dict[str, object] = {}
+        for callback in list(_registry_observers):
+            callback(self)
 
-    def counter(self, name: str) -> Counter:
+    # ------------------------------------------------------------------
+    # Labels / children
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> dict[str, object]:
+        """Labels stamped on every metric this registry creates (copy)."""
+        return dict(self._labels)
+
+    def child(self, **labels: object) -> "MetricsRegistry":
+        """A view sharing this registry's storage with extra preset labels."""
+        view = object.__new__(MetricsRegistry)
+        view._store = self._store
+        view._labels = {**self._labels, **labels}
+        return view
+
+    # ------------------------------------------------------------------
+    # Metric factories
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: dict[str, object], factory):
+        merged = {**self._labels, **labels}
+        key = (kind, name, _label_key(merged))
+        metric = self._store.get(key)
+        if metric is None:
+            metric = factory(_full_name(name, key[2]))
+            self._store[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
         """Get or create the :class:`Counter` called ``name``."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        return self._get("counter", name, labels, Counter)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         """Get or create the :class:`Gauge` called ``name``."""
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+        return self._get("gauge", name, labels, Gauge)
 
-    def histogram(self, name: str) -> LatencyHistogram:
+    def histogram(self, name: str, **labels: object) -> LatencyHistogram:
         """Get or create the :class:`LatencyHistogram` called ``name``."""
-        if name not in self._histograms:
-            self._histograms[name] = LatencyHistogram(name)
-        return self._histograms[name]
+        return self._get("histogram", name, labels, LatencyHistogram)
 
-    def series(self, name: str, bucket_width: float = 1.0) -> BucketSeries:
+    def series(self, name: str, bucket_width: float = 1.0, **labels: object) -> BucketSeries:
         """Get or create the :class:`BucketSeries` called ``name``."""
-        if name not in self._series:
-            self._series[name] = BucketSeries(bucket_width, name)
-        return self._series[name]
-
-    def names(self) -> list[str]:
-        """All registered metric names, sorted."""
-        return sorted(
-            list(self._counters)
-            + list(self._gauges)
-            + list(self._histograms)
-            + list(self._series)
+        return self._get(
+            "series", name, labels, lambda full: BucketSeries(bucket_width, full)
         )
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All registered metric names (``name{label=value,...}``), sorted."""
+        return sorted(_full_name(name, labels) for _, name, labels in self._store)
+
+    def collect(self) -> Iterator[tuple[str, str, dict[str, str], object]]:
+        """Yield ``(kind, name, labels, metric)`` for every registered metric."""
+        for (kind, name, labels), metric in sorted(self._store.items()):
+            yield kind, name, dict(labels), metric
+
+    def snapshot(self) -> list[dict]:
+        """Serializable summary of every metric (for the JSONL exporter)."""
+        rows: list[dict] = []
+        for kind, name, labels, metric in self.collect():
+            row: dict = {"metric": name, "kind": kind, "labels": labels}
+            if kind in ("counter", "gauge"):
+                row["value"] = metric.value
+            elif kind == "histogram":
+                row.update(
+                    count=metric.count,
+                    mean=metric.mean,
+                    trimmed_mean=metric.trimmed_mean(),
+                    p50=metric.percentile(50),
+                    p99=metric.percentile(99),
+                    max=metric.max,
+                )
+            elif kind == "series":
+                totals = metric.bucket_totals()
+                row.update(
+                    buckets=len(totals),
+                    bucket_width=metric.bucket_width,
+                    total=sum(totals.values()),
+                )
+            rows.append(row)
+        return rows

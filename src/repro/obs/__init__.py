@@ -1,0 +1,39 @@
+"""Simulation-wide observability: probes, profiling, and trace export.
+
+The package has four pieces, composable but independent:
+
+* :mod:`repro.obs.probe` — the typed probe/trace bus emitters publish to;
+* :mod:`repro.obs.profiler` — simulated-time busy attribution ("which
+  resource saturated?");
+* :mod:`repro.obs.export` — the JSONL trace writer;
+* :mod:`repro.obs.session` — :class:`ObsSession`, which instruments every
+  simulator/network/registry created while it is active and ties the
+  other three together. This is what ``--emit-metrics`` uses.
+"""
+
+from .export import JsonlTraceWriter
+from .probe import (
+    EVENT_FIRED,
+    NET_DELIVER,
+    NET_DROP,
+    NET_ENQUEUE,
+    SERVER_BUSY,
+    ProbeBus,
+    ProbeEvent,
+)
+from .profiler import ProfileRow, SimProfiler
+from .session import ObsSession
+
+__all__ = [
+    "EVENT_FIRED",
+    "NET_DELIVER",
+    "NET_DROP",
+    "NET_ENQUEUE",
+    "SERVER_BUSY",
+    "JsonlTraceWriter",
+    "ObsSession",
+    "ProbeBus",
+    "ProbeEvent",
+    "ProfileRow",
+    "SimProfiler",
+]

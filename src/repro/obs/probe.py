@@ -1,0 +1,114 @@
+"""The probe/trace bus: typed, subscribable simulation events.
+
+A :class:`ProbeBus` is a tiny publish/subscribe hub for the structured
+events the simulated substrate can emit:
+
+* ``sim.event`` — the kernel fired a scheduled callback;
+* ``net.enqueue`` — a message entered a sender's egress queue (unicast
+  carries ``dst``, multicast carries ``group``/``fanout``);
+* ``net.deliver`` — a message was handed to a destination node;
+* ``net.drop`` — the loss model discarded a receiver leg;
+* ``server.busy`` — a FIFO server (CPU, NIC direction, disk drain)
+  accepted work occupying ``[start, finish]``.
+
+Emitters hold an optional bus reference and guard every emission with a
+single ``is not None`` check, so an unobserved simulation pays one
+attribute test per event — effectively nothing. With a bus attached but
+no subscriber for a kind, ``emit`` returns after one dict lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "EVENT_FIRED",
+    "NET_DELIVER",
+    "NET_DROP",
+    "NET_ENQUEUE",
+    "SERVER_BUSY",
+    "ProbeEvent",
+    "ProbeBus",
+]
+
+EVENT_FIRED = "sim.event"
+NET_ENQUEUE = "net.enqueue"
+NET_DELIVER = "net.deliver"
+NET_DROP = "net.drop"
+SERVER_BUSY = "server.busy"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeEvent:
+    """One published occurrence: when, what kind, who, and details."""
+
+    time: float
+    kind: str
+    source: str
+    data: dict[str, Any]
+
+    def as_record(self) -> dict[str, Any]:
+        """Flat dict form for the JSONL exporter."""
+        return {"type": "probe", "t": self.time, "kind": self.kind,
+                "source": self.source, **self.data}
+
+
+Subscriber = Callable[[ProbeEvent], None]
+
+
+class ProbeBus:
+    """Typed publish/subscribe bus for simulation probe events.
+
+    >>> bus = ProbeBus()
+    >>> seen = []
+    >>> _ = bus.subscribe(seen.append, kind="net.enqueue")
+    >>> bus.emit("net.enqueue", 0.5, "n0", dst="n1", size=64)
+    >>> seen[0].data["dst"]
+    'n1'
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, list[Subscriber]] = {}
+        self._wildcard: list[Subscriber] = []
+        self.events_emitted = 0
+
+    def subscribe(self, fn: Subscriber, kind: str | None = None) -> Callable[[], None]:
+        """Receive events of ``kind`` (or all events when kind is None).
+
+        Returns a zero-argument unsubscriber.
+        """
+        if kind is None:
+            self._wildcard.append(fn)
+
+            def remove() -> None:
+                if fn in self._wildcard:
+                    self._wildcard.remove(fn)
+
+        else:
+            self._by_kind.setdefault(kind, []).append(fn)
+
+            def remove() -> None:
+                subs = self._by_kind.get(kind, [])
+                if fn in subs:
+                    subs.remove(fn)
+
+        return remove
+
+    @property
+    def has_subscribers(self) -> bool:
+        """True when at least one subscriber is registered."""
+        return bool(self._wildcard) or any(self._by_kind.values())
+
+    def emit(self, kind: str, time: float, source: str, **data: Any) -> None:
+        """Publish one event; no-op (after one lookup) with no subscriber."""
+        subs = self._by_kind.get(kind)
+        if not subs and not self._wildcard:
+            return
+        self.events_emitted += 1
+        event = ProbeEvent(time=time, kind=kind, source=source, data=data)
+        for fn in self._wildcard:
+            fn(event)
+        if subs:
+            for fn in subs:
+                fn(event)

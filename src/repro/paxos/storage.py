@@ -13,7 +13,7 @@ The durability of a consensus instance is configurable (paper, Section I):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigurationError

@@ -28,7 +28,7 @@ from ..calibration import (
     CPU_FIXED_COST_SMALL_MESSAGE,
 )
 from ..errors import ProtocolError
-from ..metrics import Counter
+from ..metrics import MetricsRegistry
 from ..paxos.storage import AcceptorStorage, DurableStorage, InMemoryStorage
 from ..sim.network import Network
 from ..sim.node import Node
@@ -63,6 +63,7 @@ class RingAcceptor(Process):
         config: RingConfig,
         decided_log_limit: int = 100_000,
         state_retention: int = 50_000,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"acceptor@{node.name}/ring{config.ring_id}")
         if node.name not in config.acceptors:
@@ -84,9 +85,12 @@ class RingAcceptor(Process):
         self.successor = config.successor(node.name)
         self.is_first = node.name == config.first_acceptor()
         self.promised_floor = -1
-        self.accepts = Counter("accepts")
-        self.forwards = Counter("forwards")
-        self.repairs_served = Counter("repairs_served")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(ring=config.ring_id, role="acceptor", node=node.name)
+        self.accepts = self.metrics.counter("accepts")
+        self.forwards = self.metrics.counter("forwards")
+        self.repairs_served = self.metrics.counter("repairs_served")
+        self.parked_depth = self.metrics.gauge("parked_phase2b")
         self._forwarded: set[tuple[int, int]] = set()
         self._parked_2b: dict[int, Phase2B] = {}
         self._accepted_vids: dict[int, int] = {}
@@ -155,6 +159,7 @@ class RingAcceptor(Process):
             # Later acceptors accept when the ring token reaches them; a 2B
             # that overtook our copy of the 2A can now proceed.
             parked = self._parked_2b.pop(msg.instance, None)
+            self.parked_depth.set(len(self._parked_2b))
             if parked is not None and parked.value_id == value_id:
                 self._on_phase2b(parked)
 
@@ -185,6 +190,7 @@ class RingAcceptor(Process):
             # Section III-B safety check: we must know the client value
             # behind the ID before accepting. Park until the 2A arrives.
             self._parked_2b[msg.instance] = msg
+            self.parked_depth.set(len(self._parked_2b))
             self.call_later(
                 self.config.repair_interval, self._repair_from_coordinator, msg.instance
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..calibration import DISK_BANDWIDTH_BYTES_PER_S, DISK_BUFFER_BYTES
+from ..metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.simulator import Simulator
@@ -47,6 +48,7 @@ def build_ring(
     disk_bandwidth: float = DISK_BANDWIDTH_BYTES_PER_S,
     learner_nodes: list[Node] | None = None,
     on_deliver=None,
+    metrics: MetricsRegistry | None = None,
     **config_kwargs,
 ) -> RingDeployment:
     """Create nodes and roles for one ring and wire them together.
@@ -71,8 +73,12 @@ def build_ring(
         network.add_node(node)
         acc_nodes.append(node)
 
-    coordinator = RingCoordinator(sim, network, acc_nodes[-1], config)
-    acceptors = [RingAcceptor(sim, network, node, config) for node in acc_nodes[:-1]]
+    if metrics is None:
+        metrics = MetricsRegistry()
+    coordinator = RingCoordinator(sim, network, acc_nodes[-1], config, metrics=metrics)
+    acceptors = [
+        RingAcceptor(sim, network, node, config, metrics=metrics) for node in acc_nodes[:-1]
+    ]
 
     if learner_nodes is None:
         learner_nodes = []
@@ -81,7 +87,10 @@ def build_ring(
             network.add_node(node)
             learner_nodes.append(node)
     learners = [
-        RingLearner(sim, network, node, config, learner_index=i, on_deliver=on_deliver)
+        RingLearner(
+            sim, network, node, config,
+            learner_index=i, on_deliver=on_deliver, metrics=metrics,
+        )
         for i, node in enumerate(learner_nodes)
     ]
 

@@ -24,7 +24,7 @@ writes its accepts through its disk like any acceptor.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..calibration import (
@@ -33,7 +33,7 @@ from ..calibration import (
     CPU_FIXED_COST_SMALL_MESSAGE,
 )
 from ..errors import ProtocolError
-from ..metrics import Counter
+from ..metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.process import Process, Timer
@@ -80,6 +80,9 @@ class RingCoordinator(Process):
     on_decide:
         Optional callback ``(instance, item)`` fired at decision time —
         used by Multi-Ring Paxos's rate monitor and by tests.
+    metrics:
+        Registry to create this coordinator's metrics in (labeled with
+        ``ring``/``role``/``node``). A private registry is used when None.
     """
 
     def __init__(
@@ -90,6 +93,7 @@ class RingCoordinator(Process):
         config: RingConfig,
         rnd: int = 0,
         on_decide: Callable[[int, DataBatch | SkipRange], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"coord@{node.name}/ring{config.ring_id}")
         if node.name != config.coordinator:
@@ -105,11 +109,15 @@ class RingCoordinator(Process):
         self.on_decide = on_decide
         self.next_instance = 0
         self.next_value_id = 0
-        self.submissions = Counter("submissions")
-        self.instances_started = Counter("instances_started")
-        self.instances_decided = Counter("instances_decided")
-        self.skips_proposed = Counter("skips_proposed")
-        self.retries = Counter("retries")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(ring=config.ring_id, role="coordinator", node=node.name)
+        self.submissions = self.metrics.counter("submissions")
+        self.instances_started = self.metrics.counter("instances_started")
+        self.instances_decided = self.metrics.counter("instances_decided")
+        self.skips_proposed = self.metrics.counter("skips_proposed")
+        self.retries = self.metrics.counter("retries")
+        self.backlog_depth = self.metrics.gauge("backlog_depth")
+        self.inflight_depth = self.metrics.gauge("inflight_depth")
         self._inflight: dict[int, _Inflight] = {}
         self._backlog: deque[DataBatch | SkipRange] = deque()
         self._pending_decisions: list[tuple[int, int]] = []
@@ -191,6 +199,8 @@ class RingCoordinator(Process):
             return  # new work queues up until Phase 1 recovery completes
         while self._backlog and len(self._inflight) < self.config.window:
             self._start_instance(self._backlog.popleft())
+        self.backlog_depth.set(len(self._backlog))
+        self.inflight_depth.set(len(self._inflight))
 
     def _start_instance(self, item: DataBatch | SkipRange) -> None:
         instance = self.next_instance

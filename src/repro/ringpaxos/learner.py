@@ -28,7 +28,7 @@ from ..calibration import (
     CPU_FIXED_COST_LEARNER,
     CPU_FIXED_COST_SMALL_MESSAGE,
 )
-from ..metrics import BucketSeries, Counter, LatencyHistogram
+from ..metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.process import PeriodicTimer, Process
@@ -73,6 +73,7 @@ class RingLearner(Process):
         on_decide: Callable[[int, DataBatch | SkipRange], None] | None = None,
         on_deliver: Callable[[int, ClientValue], None] | None = None,
         series_bucket: float = 1.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(sim, f"learner@{node.name}/ring{config.ring_id}")
         self.network = network
@@ -84,15 +85,22 @@ class RingLearner(Process):
         self.next_instance = 0
         self.frontier = 0  # highest instance known to exist (from heartbeats etc.)
         self.values = ValueStore()
-        self.delivered_messages = Counter("delivered_messages")
-        self.delivered_bytes = Counter("delivered_bytes")
-        self.received_bytes = Counter("received_bytes")
-        self.skipped_instances = Counter("skipped_instances")
-        self.repairs_requested = Counter("repairs_requested")
-        self.latency = LatencyHistogram(f"ring{config.ring_id}.delivery_latency")
-        self.delivery_series = BucketSeries(series_bucket, "delivered_bytes_per_s")
-        self.receive_series = BucketSeries(series_bucket, "received_bytes_per_s")
-        self.latency_series = BucketSeries(series_bucket, "latency_mean")
+        base = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = base.child(ring=config.ring_id, role="learner", node=node.name)
+        self.delivered_messages = self.metrics.counter("delivered_messages")
+        self.delivered_bytes = self.metrics.counter("delivered_bytes")
+        self.received_bytes = self.metrics.counter("received_bytes")
+        self.skipped_instances = self.metrics.counter("skipped_instances")
+        self.repairs_requested = self.metrics.counter("repairs_requested")
+        self.reorder_depth = self.metrics.gauge("reorder_buffered")
+        self.latency = self.metrics.histogram("delivery_latency")
+        self.delivery_series = self.metrics.series(
+            "delivered_bytes_per_s", bucket_width=series_bucket
+        )
+        self.receive_series = self.metrics.series(
+            "received_bytes_per_s", bucket_width=series_bucket
+        )
+        self.latency_series = self.metrics.series("latency_mean", bucket_width=series_bucket)
         self._ready: dict[int, DataBatch | SkipRange] = {}
         self._repair_attempts = 0
         self._last_repair_instance = -1
@@ -206,6 +214,7 @@ class RingLearner(Process):
         self._ready[instance] = item
         self.frontier = max(self.frontier, instance + item.instance_count)
         self._emit_ready()
+        self.reorder_depth.set(len(self._ready))
 
     def _emit_ready(self) -> None:
         while self.next_instance in self._ready:

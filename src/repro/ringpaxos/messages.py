@@ -10,7 +10,7 @@ execution — Multi-Ring Paxos's skip mechanism, Section IV-B/IV-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..calibration import CONTROL_MESSAGE_SIZE
 

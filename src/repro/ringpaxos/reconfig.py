@@ -32,6 +32,7 @@ import dataclasses
 from typing import Callable
 
 from ..errors import ConfigurationError
+from ..metrics import MetricsRegistry
 from ..paxos.ballot import next_round
 from ..sim.network import Network
 from ..sim.node import Node
@@ -55,6 +56,7 @@ class RingFailover:
         spare_nodes: list[Node],
         suspect_timeout: float = 0.05,
         on_new_coordinator: Callable[[RingCoordinator], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not acceptors:
             raise ConfigurationError("failover needs at least one non-coordinator acceptor")
@@ -65,6 +67,7 @@ class RingFailover:
         self.spare_nodes = list(spare_nodes)
         self.suspect_timeout = suspect_timeout
         self.on_new_coordinator = on_new_coordinator
+        self.metrics = metrics
         self.new_coordinator: RingCoordinator | None = None
         self.takeovers = 0
         self.last_rnd = 0
@@ -109,7 +112,9 @@ class RingFailover:
         if spare_node is not None:
             # Instantiate the spare's acceptor role with the new layout
             # (the JoinRing step of a real deployment).
-            spare_acceptor = RingAcceptor(self.sim, self.network, spare_node, new_config)
+            spare_acceptor = RingAcceptor(
+                self.sim, self.network, spare_node, new_config, metrics=self.metrics
+            )
         for acceptor in others:
             acceptor.stop_watching()
             acceptor.adopt(new_config)
@@ -121,7 +126,8 @@ class RingFailover:
         rnd = next_round(self.last_rnd, self._universe_index(initiator), self.total_acceptors)
         self.last_rnd = rnd
         coordinator = RingCoordinator(
-            self.sim, self.network, initiator.node, new_config, rnd=rnd
+            self.sim, self.network, initiator.node, new_config, rnd=rnd,
+            metrics=self.metrics,
         )
         self.new_coordinator = coordinator
         if spare_acceptor is not None:

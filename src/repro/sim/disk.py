@@ -93,6 +93,15 @@ class Disk:
         """Bytes admitted but not yet drained to the platter."""
         return self._drain.backlog_time * self.bandwidth
 
+    def attach_probe(self, bus) -> None:
+        """Publish the drain's busy intervals (``server.busy``) to ``bus``."""
+        self._drain.probe = bus
+
+    @property
+    def drain(self) -> FifoServer:
+        """The underlying drain server (for profiling/busy accounting)."""
+        return self._drain
+
     def utilization(self, window: float = 1.0) -> float:
         """Fraction of the last ``window`` seconds the drain was busy."""
         return self._drain.utilization(window)

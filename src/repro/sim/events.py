@@ -15,7 +15,7 @@ run before this layout).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
@@ -36,6 +36,7 @@ class Event:
     fn: Callable[..., None]
     args: tuple[Any, ...] = ()
     cancelled: bool = False
+    consumed: bool = False  # set by EventQueue.pop(); guards late cancels
 
     def cancel(self) -> None:
         """Mark this event so it will not fire when popped."""
@@ -74,8 +75,13 @@ class EventQueue:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event`` if it has not fired yet (idempotent)."""
-        if not event.cancelled:
+        """Cancel ``event`` if it has not fired yet (idempotent).
+
+        Cancelling an event that was already popped (fired) is a no-op:
+        a popped event no longer counts towards ``len()``, so decrementing
+        again would drive the live count negative.
+        """
+        if not event.cancelled and not event.consumed:
             event.cancel()
             self._live -= 1
 
@@ -92,6 +98,7 @@ class EventQueue:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)[2]
+        event.consumed = True
         self._live -= 1
         return event
 

@@ -21,7 +21,7 @@ reason Ring Paxos out-throughputs sender-replicated protocols.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import NetworkError
 from .loss import LossModel, NoLoss
@@ -29,7 +29,25 @@ from .node import Node
 from .server import FifoServer
 from .simulator import Simulator
 
-__all__ = ["Nic", "Network"]
+__all__ = ["Nic", "Network", "observe_networks"]
+
+# Observers notified whenever a Network is constructed — the counterpart of
+# ``observe_simulators`` for the fabric layer. Empty by default.
+_network_observers: list[Callable[["Network"], None]] = []
+
+
+def observe_networks(callback: Callable[["Network"], None]) -> Callable[[], None]:
+    """Call ``callback(network)`` for every Network created from now on.
+
+    Returns a zero-argument remover that uninstalls the observer.
+    """
+    _network_observers.append(callback)
+
+    def remove() -> None:
+        if callback in _network_observers:
+            _network_observers.remove(callback)
+
+    return remove
 
 
 class Nic:
@@ -85,6 +103,32 @@ class Network:
         self.nics: dict[str, Nic] = {}
         self._groups: dict[str, list[str]] = {}
         self.messages_dropped = 0
+        self.probe = None  # ProbeBus | None
+        if _network_observers:
+            for callback in list(_network_observers):
+                callback(self)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_probe(self, bus) -> None:
+        """Publish transmissions and per-resource busy intervals to ``bus``.
+
+        Attaches the bus to every NIC queue, CPU, and disk of nodes already
+        on the fabric; nodes added later are instrumented by ``add_node``.
+        """
+        self.probe = bus
+        for name in self.nodes:
+            self._instrument(name)
+
+    def _instrument(self, name: str) -> None:
+        nic = self.nics[name]
+        nic.egress.probe = self.probe
+        nic.ingress.probe = self.probe
+        node = self.nodes[name]
+        node.cpu.probe = self.probe
+        if node.disk is not None:
+            node.disk.attach_probe(self.probe)
 
     # ------------------------------------------------------------------
     # Topology
@@ -97,6 +141,8 @@ class Network:
         self.nics[node.name] = Nic(
             self.sim, node.name, bandwidth if bandwidth is not None else self.default_bandwidth
         )
+        if self.probe is not None:
+            self._instrument(node.name)
         return node
 
     def node(self, name: str) -> Node:
@@ -146,6 +192,11 @@ class Network:
         depart = self.nics[src].egress.submit(float(size))
         self.nics[src].bytes_sent += size
         self.nics[src].messages_sent += 1
+        if self.probe is not None:
+            self.probe.emit(
+                "net.enqueue", self.sim.now, src,
+                dst=dst, port=port, msg=type(msg).__name__, size=size,
+            )
         self._propagate(depart, src, dst, port, msg, size)
 
     def multicast(self, src: str, group: str, port: str, msg: Any, size: int) -> None:
@@ -164,6 +215,12 @@ class Network:
         depart = self.nics[src].egress.submit(float(size))
         self.nics[src].bytes_sent += size
         self.nics[src].messages_sent += 1
+        if self.probe is not None:
+            self.probe.emit(
+                "net.enqueue", self.sim.now, src,
+                group=group, fanout=len(members), port=port,
+                msg=type(msg).__name__, size=size,
+            )
         for dst in members:
             if dst == src:
                 # Kernel loopback: no switch hop, no ingress serialization.
@@ -177,6 +234,11 @@ class Network:
     def _propagate(self, depart: float, src: str, dst: str, port: str, msg: Any, size: int) -> None:
         if self.loss.should_drop(self._rng, src, dst, size):
             self.messages_dropped += 1
+            if self.probe is not None:
+                self.probe.emit(
+                    "net.drop", self.sim.now, src,
+                    dst=dst, port=port, msg=type(msg).__name__, size=size,
+                )
             return
         arrival = depart + self.propagation_delay
         self.sim.at(arrival, self._deliver, dst, port, src, msg, size)
@@ -185,6 +247,11 @@ class Network:
         node = self.nodes.get(dst)
         if node is None or not node.up:
             return
+        if self.probe is not None:
+            self.probe.emit(
+                "net.deliver", self.sim.now, dst,
+                src=src, port=port, msg=type(msg).__name__, size=size,
+            )
         nic = self.nics[dst]
         if size > 0:
             done = nic.ingress.submit(float(size))

@@ -50,6 +50,7 @@ class FifoServer:
         self.total_busy_time = 0.0
         self.jobs_served = 0
         self.demand_served = 0.0
+        self.probe = None  # ProbeBus | None; set by the observability layer
         self._intervals: deque[tuple[float, float]] = deque()
 
     # ------------------------------------------------------------------
@@ -72,6 +73,11 @@ class FifoServer:
         self.jobs_served += 1
         self.demand_served += demand
         self._record_interval(start, finish)
+        if self.probe is not None:
+            self.probe.emit(
+                "server.busy", self.sim.now, self.name,
+                start=start, finish=finish, demand=demand,
+            )
         if fn is not None:
             self.sim.at(finish, fn, *args)
         return finish

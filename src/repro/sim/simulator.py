@@ -16,7 +16,27 @@ from ..errors import SimulationError
 from .events import Event, EventQueue
 from .rng import RandomStreams
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "observe_simulators"]
+
+# Observers notified whenever a Simulator is constructed. The observability
+# layer (``repro.obs``) uses this to attach probes/profilers to simulators
+# it never gets a direct reference to (e.g. those built inside benchmark
+# runners). Empty by default, so normal runs pay nothing.
+_simulator_observers: list[Callable[["Simulator"], None]] = []
+
+
+def observe_simulators(callback: Callable[["Simulator"], None]) -> Callable[[], None]:
+    """Call ``callback(sim)`` for every Simulator created from now on.
+
+    Returns a zero-argument remover that uninstalls the observer.
+    """
+    _simulator_observers.append(callback)
+
+    def remove() -> None:
+        if callback in _simulator_observers:
+            _simulator_observers.remove(callback)
+
+    return remove
 
 
 class Simulator:
@@ -43,6 +63,26 @@ class Simulator:
         self._queue = EventQueue()
         self._events_executed = 0
         self._running = False
+        self._probe = None  # ProbeBus | None; None keeps the hot path bare
+        if _simulator_observers:
+            for callback in list(_simulator_observers):
+                callback(self)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def probe(self):
+        """The attached :class:`~repro.obs.ProbeBus`, or None."""
+        return self._probe
+
+    def attach_probe(self, bus) -> None:
+        """Publish kernel events (``sim.event``) to ``bus``."""
+        self._probe = bus
+
+    def detach_probe(self) -> None:
+        """Stop publishing kernel events."""
+        self._probe = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -77,6 +117,14 @@ class Simulator:
             raise SimulationError("event queue produced an event in the past")
         self.now = event.time
         self._events_executed += 1
+        if self._probe is not None:
+            fn = event.fn
+            self._probe.emit(
+                "sim.event",
+                self.now,
+                getattr(fn, "__qualname__", None) or repr(fn),
+                seq=event.seq,
+            )
         event.fire()
         return True
 

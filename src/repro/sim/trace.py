@@ -12,7 +12,7 @@ installed, so it costs nothing in benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from .network import Network

@@ -1,6 +1,5 @@
 """Integration: failure injection — no loss, reorder, or duplication."""
 
-import pytest
 
 from repro import MultiRingConfig, MultiRingPaxos
 from repro.sim import UniformLoss

@@ -9,7 +9,7 @@ import pytest
 
 from repro import MultiRingConfig, MultiRingPaxos
 from repro.core import DeterministicMerge
-from repro.core.interop import LcrBackedGroup, SkipMarker
+from repro.core.interop import LcrBackedGroup
 from repro.ringpaxos import RingLearner
 from repro.sim import Network, Node, Simulator
 

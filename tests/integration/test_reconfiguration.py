@@ -7,7 +7,6 @@ range-Phase 1, and resumes service. No message may be lost, duplicated,
 or reordered across the reconfiguration.
 """
 
-import pytest
 
 from repro import MultiRingConfig, MultiRingPaxos
 

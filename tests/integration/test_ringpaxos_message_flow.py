@@ -5,10 +5,9 @@ travels once by ip-multicast, consensus runs on small IDs relayed along
 the ring, and decisions ride on later multicasts.
 """
 
-import pytest
 
 from repro.calibration import CONTROL_MESSAGE_SIZE, DEFAULT_VALUE_SIZE
-from repro.ringpaxos import Phase2A, Phase2B, build_ring
+from repro.ringpaxos import Phase2B, build_ring
 from repro.sim import Network, Simulator
 
 

@@ -76,3 +76,54 @@ def test_queue_orders_by_time_then_seq():
     q.push(0.5, lambda: None)   # seq 2
     popped = [q.pop() for _ in range(3)]
     assert [(e.time, e.seq) for e in popped] == [(0.5, 2), (1.0, 0), (1.0, 1)]
+
+
+def test_cancel_after_fire_is_noop():
+    # Regression: cancelling an event that already fired used to decrement
+    # the live count a second time, driving len() negative.
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    popped = q.pop()
+    assert popped is e1
+    assert len(q) == 1
+    q.cancel(e1)
+    assert len(q) == 1
+    q.cancel(e1)  # and cancelling twice is still a no-op
+    assert len(q) == 1
+    assert q.pop() is not None
+    assert len(q) == 0
+
+
+def test_cancel_twice_before_fire_decrements_once():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 1
+
+
+def test_pop_marks_event_consumed():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    assert not e.consumed
+    assert q.pop() is e
+    assert e.consumed
+
+
+def test_simulator_cancel_after_fire_keeps_pending_count_sane():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "a")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    sim.cancel(event)  # late cancel, e.g. a retry timer of a decided instance
+    assert sim.pending_events == 0
+    sim.schedule(0.5, fired.append, "b")
+    assert sim.pending_events == 1
+    sim.run(until=5.0)
+    assert fired == ["a", "b"]
+    assert sim.pending_events == 0

@@ -1,6 +1,5 @@
 """Tests for fault injection: schedules and network partitions."""
 
-import pytest
 
 from repro import MultiRingConfig, MultiRingPaxos
 from repro.calibration import DEFAULT_VALUE_SIZE

@@ -166,3 +166,92 @@ def test_registry_names_sorted():
     reg.counter("b")
     reg.gauge("a")
     assert reg.names() == ["a", "b"]
+
+
+def test_histogram_trimmed_mean_of_identical_samples_is_exact():
+    # Regression: accumulating many identical floats lost ulps, so the
+    # trimmed mean of N copies of x came out (one ulp) below x.
+    h = LatencyHistogram()
+    x = 0.0013877787807814457  # an awkward binary fraction
+    for _ in range(10_001):
+        h.record(x)
+    assert h.trimmed_mean(0.05) == x
+    assert h.mean == pytest.approx(x, rel=1e-15)
+    assert min(x, x) <= h.trimmed_mean(0.05) <= h.mean + 1e-9
+
+
+def test_histogram_trimmed_mean_clamped_to_kept_range():
+    h = LatencyHistogram()
+    for v in [1.0, 2.0, 3.0, 1000.0]:
+        h.record(v)
+    t = h.trimmed_mean(0.25)  # drops the 1000.0 spike
+    assert 1.0 <= t <= 3.0
+    assert t == pytest.approx(2.0)
+
+
+def test_histogram_decimation_percentiles_stay_representative():
+    h = LatencyHistogram(max_samples=128)
+    for v in range(10_000):
+        h.record(float(v % 100))
+    # Decimation halves the retained samples repeatedly; the quantiles of
+    # the stationary 0..99 stream must survive it.
+    assert len(h._samples) <= 128
+    assert h.percentile(50) == pytest.approx(49.5, abs=6.0)
+    assert 90.0 <= h.percentile(99) <= 99.0
+    assert h.trimmed_mean(0.05) <= h.mean + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Labeled metrics
+# ---------------------------------------------------------------------------
+def test_registry_labels_separate_metrics():
+    reg = MetricsRegistry()
+    a = reg.counter("delivered", ring=0)
+    b = reg.counter("delivered", ring=1)
+    assert a is not b
+    a.inc(3)
+    assert reg.counter("delivered", ring=0).value == 3
+    assert reg.counter("delivered", ring=1).value == 0
+
+
+def test_registry_child_shares_store_with_preset_labels():
+    reg = MetricsRegistry()
+    ring2 = reg.child(ring=2)
+    ring2.counter("delivered").inc(5)
+    assert reg.counter("delivered", ring=2).value == 5
+    # Nested children merge labels.
+    coord = ring2.child(role="coordinator")
+    assert coord.labels == {"ring": 2, "role": "coordinator"}
+    coord.gauge("backlog").set(7)
+    assert reg.gauge("backlog", ring=2, role="coordinator").value == 7
+
+
+def test_registry_full_names_include_labels():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    reg.counter("x", ring=1)
+    names = reg.names()
+    assert "x" in names
+    assert "x{ring=1}" in names
+
+
+def test_registry_snapshot_rows():
+    reg = MetricsRegistry()
+    reg.counter("c", ring=0).inc(2)
+    reg.histogram("h").record(1.0)
+    reg.series("s", bucket_width=1.0).record(0.5, 10.0)
+    rows = {(r["kind"], r["metric"]): r for r in reg.snapshot()}
+    assert rows[("counter", "c")]["value"] == 2
+    assert rows[("counter", "c")]["labels"] == {"ring": "0"}
+    assert rows[("histogram", "h")]["count"] == 1
+    assert rows[("histogram", "h")]["mean"] == pytest.approx(1.0)
+    assert rows[("series", "s")]["total"] == pytest.approx(10.0)
+
+
+def test_registry_collect_yields_label_dicts():
+    reg = MetricsRegistry()
+    reg.child(ring=3, role="learner").counter("delivered").inc()
+    [(kind, name, labels, metric)] = list(reg.collect())
+    assert (kind, name) == ("counter", "delivered")
+    assert labels == {"ring": "3", "role": "learner"}
+    assert metric.value == 1

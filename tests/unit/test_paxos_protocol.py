@@ -32,7 +32,7 @@ def build(n_acceptors=3, n_proposers=1, n_learners=1, loss=None, durable=False, 
                 net,
                 node,
                 acceptors=[a.node.name for a in acceptors],
-                learners=[l.node.name for l in learners],
+                learners=[lrn.node.name for lrn in learners],
                 proposer_id=i,
                 n_proposers=max(1, n_proposers),
             )

@@ -1,6 +1,5 @@
 """Edge-case tests across protocol components."""
 
-import pytest
 
 from repro.baselines import build_lcr_ring, build_mencius, build_spread
 from repro.calibration import DEFAULT_VALUE_SIZE

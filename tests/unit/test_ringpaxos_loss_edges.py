@@ -6,10 +6,9 @@ notification, the notification without its value, a 2B overtaking its 2A,
 and a lost 2A stalling the ring until the coordinator's retry.
 """
 
-import pytest
 
 from repro.calibration import DEFAULT_VALUE_SIZE
-from repro.ringpaxos import DecisionAnnounce, Phase2A, Phase2B, build_ring
+from repro.ringpaxos import build_ring
 from repro.sim import Network, Simulator
 
 

@@ -1,6 +1,5 @@
 """Protocol-level tests for Ring Paxos: ordering, durability, recovery."""
 
-import pytest
 
 from repro.calibration import DEFAULT_VALUE_SIZE
 from repro.ringpaxos import ClientValue, build_ring

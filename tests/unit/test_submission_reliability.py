@@ -5,7 +5,6 @@ deduplicated and FIFO-restored at the coordinator, and acknowledged only
 once *decided* — so an ack implies the value survives coordinator crashes.
 """
 
-import pytest
 
 from repro.calibration import DEFAULT_VALUE_SIZE
 from repro.ringpaxos import build_ring
