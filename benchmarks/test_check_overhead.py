@@ -1,0 +1,71 @@
+"""Probe-emission overhead on the Figure 1 runner.
+
+The oracle probe kinds added for ``repro.check`` (proposer.multicast,
+learner.decide, learner.deliver, replica.apply) are emitted from the
+hottest protocol paths. The contract is that they are effectively free
+unless someone subscribes:
+
+* **bare** — no probe bus attached: every emission site is one attribute
+  read plus an ``is not None`` test;
+* **bus, no subscriber** — a bus is attached but nothing subscribes:
+  every site additionally asks ``bus.wants(kind)`` (one dict lookup) and
+  skips building the event payload entirely.
+
+Both must (a) leave the simulation bit-for-bit identical — probes are
+passive — and (b) cost ≤5% wall time on the Figure 1 runner. The timing
+assertion is deliberately looser (25%) than the contract so a noisy CI
+box cannot flake it; the measured ratio is printed for the record and is
+~1–2% locally (it was ~7% before ``wants`` gating, dominated by kernel
+``sim.event`` payload construction).
+
+A third run with the full :class:`SafetyOracles` set subscribed checks
+that even *active* oracles never perturb the simulation — they read
+events, schedule nothing.
+"""
+
+import time
+
+from repro.bench.runner import run_single_ring_point
+from repro.check import SafetyOracles
+from repro.obs.probe import ProbeBus
+from repro.sim.simulator import observe_simulators
+
+
+def _fig1_point():
+    point = run_single_ring_point(300.0, durable=False)
+    return (point.delivered_mbps, point.latency_ms, point.cpu_pct)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _watched(attach):
+    remove = observe_simulators(attach)
+    try:
+        return _timed(_fig1_point)
+    finally:
+        remove()
+
+
+def test_probe_bus_without_subscribers_is_free(benchmark):
+    def run_all():
+        # Warm-up evens out allocator/import effects before timing.
+        _fig1_point()
+        bare, bare_s = _timed(_fig1_point)
+        idle, idle_s = _watched(lambda sim: sim.attach_probe(ProbeBus()))
+        oracle, _ = _watched(lambda sim: SafetyOracles().attach(sim))
+        return bare, bare_s, idle, idle_s, oracle
+
+    bare, bare_s, idle, idle_s, oracle = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Passivity: neither an idle bus nor subscribed oracles may perturb
+    # the simulation at all.
+    assert idle == bare
+    assert oracle == bare
+
+    ratio = idle_s / bare_s
+    print(f"fig1 runner: bare {bare_s:.2f}s, idle bus {idle_s:.2f}s, ratio {ratio:.3f}")
+    assert ratio <= 1.25, f"idle probe bus cost {100 * (ratio - 1):.1f}% on the fig1 runner"

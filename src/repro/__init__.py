@@ -17,7 +17,10 @@ deterministic discrete-event substrate:
 * ``repro.smr`` — partitioned state-machine replication on top of the
   multicast layer;
 * ``repro.workload`` / ``repro.bench`` — load generation and the harness
-  that regenerates every figure of the paper's evaluation.
+  that regenerates every figure of the paper's evaluation;
+* ``repro.check`` — deterministic simulation testing: safety oracles on
+  the probe bus, seeded random fault schedules, and the ``repro fuzz``
+  driver with schedule minimization.
 
 Quickstart::
 
@@ -32,6 +35,7 @@ Quickstart::
 """
 
 from .calibration import bytes_per_s_to_mbps, mbps_to_bytes_per_s
+from .check import OracleViolation, SafetyOracles, oracle_watch
 from .core import (
     DeterministicMerge,
     GroupRegistry,
@@ -65,11 +69,14 @@ __all__ = [
     "Network",
     "NetworkError",
     "Node",
+    "OracleViolation",
     "ProtocolError",
     "ReproError",
+    "SafetyOracles",
     "SimulationError",
     "Simulator",
     "SkipManager",
+    "oracle_watch",
     "bytes_per_s_to_mbps",
     "mbps_to_bytes_per_s",
     "__version__",

@@ -1,0 +1,48 @@
+"""Deterministic simulation checking: oracles, fault fuzzing, shrinking.
+
+This package is the repo's FoundationDB-style testing layer. It has three
+parts, composable separately or through the fuzz driver:
+
+* :mod:`repro.check.oracles` — passive safety oracles (agreement,
+  integrity, per-ring total order, cross-ring partial order, replica
+  convergence) that subscribe to the probe bus and raise
+  :class:`OracleViolation` the moment a property breaks;
+* :mod:`repro.check.schedule` / :mod:`repro.check.generator` —
+  JSON-replayable fault schedules and their seeded random generation;
+* :mod:`repro.check.driver` — the ``repro fuzz`` driver: seeded cases,
+  liveness-after-heal, greedy schedule shrinking, failure files.
+"""
+
+from .driver import (
+    CaseConfig,
+    CaseResult,
+    draw_config,
+    failure_to_dict,
+    fuzz_main,
+    load_failure,
+    run_case,
+    shrink,
+)
+from .generator import Topology, generate_schedule, topology_of
+from .oracles import OracleViolation, SafetyOracles, oracle_watch
+from .schedule import Schedule, ScheduleRunner, ScheduleStep
+
+__all__ = [
+    "CaseConfig",
+    "CaseResult",
+    "OracleViolation",
+    "SafetyOracles",
+    "Schedule",
+    "ScheduleRunner",
+    "ScheduleStep",
+    "Topology",
+    "draw_config",
+    "failure_to_dict",
+    "fuzz_main",
+    "generate_schedule",
+    "load_failure",
+    "oracle_watch",
+    "run_case",
+    "shrink",
+    "topology_of",
+]

@@ -1,0 +1,387 @@
+"""The simulation fuzzer: seeded cases, liveness-after-heal, shrinking.
+
+One fuzz *case* is fully determined by an integer seed: the seed draws a
+deployment configuration (:func:`draw_config`), a workload, and a fault
+schedule (:mod:`repro.check.generator`), then runs them under the full
+safety-oracle set (:mod:`repro.check.oracles`). After the scheduled fault
+window the driver force-heals everything — partition, loss, link/disk
+speed, every crashed role — and grants a bounded grace period in which
+every message a proposer actually multicast must reach every learner
+subscribed to its group (*liveness after heal*). Violations become
+:class:`~repro.check.oracles.OracleViolation` results.
+
+On failure the driver greedily shrinks the fault schedule — repeatedly
+re-running with one step removed and keeping any removal that still
+reproduces the same oracle violation — and writes the minimal schedule,
+plus everything needed to replay it, as JSON. ``repro fuzz --replay
+file.json`` re-runs exactly that case.
+
+CLI entry point: :func:`fuzz_main` (wired to ``python -m repro fuzz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.config import MultiRingConfig
+from ..core.deployment import MultiRingPaxos
+from ..sim.faults import NetworkPartition
+from ..sim.loss import TunableLoss
+from .generator import generate_schedule, topology_of
+from .oracles import OracleViolation, SafetyOracles
+from .schedule import Schedule, ScheduleRunner
+
+__all__ = [
+    "CaseConfig",
+    "CaseResult",
+    "draw_config",
+    "run_case",
+    "shrink",
+    "failure_to_dict",
+    "load_failure",
+    "fuzz_main",
+]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(slots=True)
+class CaseConfig:
+    """Everything (besides the schedule) that defines one fuzz case.
+
+    JSON-serializable so a failure file can rebuild the exact deployment.
+    ``learners`` is one subscription list per learner; the workload is
+    regenerated from ``workload_seed``, not stored.
+    """
+
+    n_groups: int = 2
+    acceptors_per_ring: int = 2
+    durable: bool = False
+    lambda_rate: float = 1000.0
+    delta: float = 5e-3
+    sim_seed: int = 0
+    workload_seed: int = 0
+    learners: list[list[int]] = field(default_factory=lambda: [[0], [0, 1]])
+    n_proposers: int = 1
+    messages_per_proposer: int = 40
+    value_size: int = 2048
+    duration: float = 1.5
+
+    def as_dict(self) -> dict:
+        return {
+            "n_groups": self.n_groups,
+            "acceptors_per_ring": self.acceptors_per_ring,
+            "durable": self.durable,
+            "lambda_rate": self.lambda_rate,
+            "delta": self.delta,
+            "sim_seed": self.sim_seed,
+            "workload_seed": self.workload_seed,
+            "learners": [list(subs) for subs in self.learners],
+            "n_proposers": self.n_proposers,
+            "messages_per_proposer": self.messages_per_proposer,
+            "value_size": self.value_size,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseConfig":
+        return cls(**data)
+
+
+def draw_config(rng: random.Random) -> CaseConfig:
+    """Draw a deployment + workload configuration from ``rng``.
+
+    Small enough to simulate in well under a second, varied enough to
+    cover single- and multi-ring merges, durable acceptors, and both
+    light and skip-heavy rings. Every group gets at least one subscribed
+    learner (otherwise liveness would be vacuous for it), and multi-group
+    deployments always include at least one merging learner.
+    """
+    n_groups = rng.randint(1, 3)
+    n_learners = rng.randint(2, 3)
+    learners = [
+        sorted(rng.sample(range(n_groups), rng.randint(1, n_groups)))
+        for _ in range(n_learners)
+    ]
+    covered = {g for subs in learners for g in subs}
+    for group in range(n_groups):
+        if group not in covered:
+            subs = learners[rng.randrange(n_learners)]
+            subs.append(group)
+            subs.sort()
+    if n_groups > 1 and not any(len(subs) > 1 for subs in learners):
+        subs = learners[rng.randrange(n_learners)]
+        subs.append(next(g for g in range(n_groups) if g not in subs))
+        subs.sort()
+    return CaseConfig(
+        n_groups=n_groups,
+        acceptors_per_ring=rng.choice([2, 2, 3]),
+        durable=rng.random() < 0.2,
+        lambda_rate=float(rng.choice([600, 1000, 2000])),
+        delta=5e-3,
+        sim_seed=rng.randrange(2**31),
+        workload_seed=rng.randrange(2**31),
+        learners=learners,
+        n_proposers=rng.randint(1, 2),
+        messages_per_proposer=rng.randint(30, 60),
+        value_size=rng.choice([512, 2048, 8192]),
+        duration=1.5,
+    )
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """Outcome of one fuzz case (the inputs travel with the verdict)."""
+
+    seed: int
+    config: CaseConfig
+    schedule: Schedule
+    ok: bool
+    oracle: str | None = None
+    message: str | None = None
+    events_checked: int = 0
+
+
+def _build(config: CaseConfig):
+    """Deployment + fault hooks + oracles for one case."""
+    loss = TunableLoss()
+    partition = NetworkPartition(set(), underlying=loss)
+    mrp = MultiRingPaxos(
+        MultiRingConfig(
+            n_groups=config.n_groups,
+            acceptors_per_ring=config.acceptors_per_ring,
+            durable=config.durable,
+            lambda_rate=config.lambda_rate,
+            delta=config.delta,
+            seed=config.sim_seed,
+        )
+    )
+    mrp.network.loss = partition
+    oracles = SafetyOracles().attach(mrp.sim)
+    learners = [mrp.add_learner(groups=list(subs)) for subs in config.learners]
+    proposers = [mrp.add_proposer() for _ in range(config.n_proposers)]
+    return mrp, partition, loss, oracles, learners, proposers
+
+
+def _install_workload(config: CaseConfig, mrp: MultiRingPaxos, proposers) -> None:
+    """Schedule the client traffic: uniform submission times over the
+    first 80% of the run, groups drawn per message. Reproduced exactly
+    from ``workload_seed`` on replay."""
+    wrng = random.Random(config.workload_seed)
+    window = 0.8 * config.duration
+    for pi, proposer in enumerate(proposers):
+        for i in range(config.messages_per_proposer):
+            t = 0.02 + wrng.random() * window
+            group = wrng.randrange(config.n_groups)
+            mrp.sim.at(t, proposer.multicast, group, f"p{pi}-m{i}", config.value_size)
+
+
+def _undelivered(config: CaseConfig, oracles: SafetyOracles, learners) -> dict[str, list]:
+    """Messages each learner still owes: proposed to a subscribed group
+    but not yet delivered. Empty dict == liveness satisfied."""
+    proposed = oracles.proposed_messages
+    missing: dict[str, list] = {}
+    for subs, learner in zip(config.learners, learners):
+        want = [m for m in proposed if m[2] in subs]
+        have = oracles.delivered_by(learner.name)
+        miss = [m for m in want if m not in have]
+        if miss:
+            missing[learner.name] = miss
+    return missing
+
+
+def run_case(
+    seed: int,
+    config: CaseConfig | None = None,
+    schedule: Schedule | None = None,
+    grace: float = 6.0,
+    duration: float | None = None,
+) -> CaseResult:
+    """Run one fuzz case to a verdict; never raises on a violation.
+
+    With only ``seed``, the configuration and schedule are drawn from it.
+    Passing ``config``/``schedule`` explicitly pins them (replay and
+    shrinking). ``grace`` bounds the liveness wait after the forced heal;
+    the run stops early once every owed message is delivered.
+    """
+    rng = random.Random(seed)
+    if config is None:
+        config = draw_config(rng)
+    if duration is not None:
+        config.duration = duration
+    mrp, partition, loss, oracles, learners, proposers = _build(config)
+    if schedule is None:
+        schedule = generate_schedule(rng, topology_of(mrp), config.duration)
+    runner = ScheduleRunner(mrp, partition, loss).install(schedule)
+    _install_workload(config, mrp, proposers)
+    try:
+        mrp.run(until=config.duration)
+        # Epilogue, outside the shrinkable schedule: whatever the faults
+        # did, the network is made whole before liveness is judged.
+        runner.heal_everything()
+        deadline = config.duration + grace
+        now = mrp.sim.now
+        while True:
+            now = min(now + 0.5, deadline)
+            mrp.run(until=now)
+            missing = _undelivered(config, oracles, learners)
+            if not missing:
+                break
+            if now >= deadline:
+                learner, owed = next(iter(sorted(missing.items())))
+                raise OracleViolation(
+                    "liveness",
+                    f"{sum(len(v) for v in missing.values())} proposed messages "
+                    f"undelivered {grace:g}s after heal "
+                    f"(e.g. {learner} missing {owed[:3]})",
+                    time=mrp.sim.now,
+                    source=learner,
+                    context={"missing": {k: v[:10] for k, v in missing.items()}},
+                )
+        oracles.check_final()
+    except OracleViolation as violation:
+        return CaseResult(
+            seed=seed, config=config, schedule=schedule, ok=False,
+            oracle=violation.oracle, message=str(violation),
+            events_checked=oracles.events_checked,
+        )
+    return CaseResult(
+        seed=seed, config=config, schedule=schedule, ok=True,
+        events_checked=oracles.events_checked,
+    )
+
+
+def shrink(result: CaseResult, budget: int = 150, grace: float = 6.0) -> tuple[Schedule, int]:
+    """Greedily minimize a failing schedule; returns (schedule, reruns).
+
+    Repeatedly re-runs the case with one step removed (scanning back to
+    front) and keeps any removal that still fails with the *same* oracle.
+    Loops until a full pass removes nothing or the rerun budget is spent.
+    The result is 1-minimal w.r.t. single-step removal, and every kept
+    intermediate is itself a replayable failing schedule.
+    """
+    if result.ok:
+        raise ValueError("can only shrink a failing case")
+    current = result.schedule
+    reruns = 0
+    progress = True
+    while progress and reruns < budget:
+        progress = False
+        i = len(current) - 1
+        while i >= 0 and reruns < budget:
+            candidate = current.without(i)
+            reruns += 1
+            res = run_case(result.seed, config=result.config, schedule=candidate, grace=grace)
+            if not res.ok and res.oracle == result.oracle:
+                current = candidate
+                progress = True
+            i -= 1
+    return current, reruns
+
+
+# ----------------------------------------------------------------------
+# Failure files
+# ----------------------------------------------------------------------
+def failure_to_dict(result: CaseResult, shrunk: Schedule | None = None) -> dict:
+    """The JSON payload of one minimized failure."""
+    final = shrunk if shrunk is not None else result.schedule
+    return {
+        "version": FORMAT_VERSION,
+        "seed": result.seed,
+        "oracle": result.oracle,
+        "message": result.message,
+        "original_steps": len(result.schedule),
+        "shrunk_steps": len(final),
+        "config": result.config.as_dict(),
+        "schedule": final.as_dict(),
+    }
+
+
+def load_failure(path: str | Path) -> tuple[int, CaseConfig, Schedule]:
+    """Read a failure file back into (seed, config, schedule)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported failure-file version {data.get('version')!r}")
+    return (
+        data["seed"],
+        CaseConfig.from_dict(data["config"]),
+        Schedule.from_dict(data["schedule"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def fuzz_main(argv: list[str] | None = None) -> int:
+    """``python -m repro fuzz`` — run seeded fuzz cases or replay one."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Deterministic simulation fuzzing with safety oracles.",
+    )
+    parser.add_argument("--runs", type=int, default=25,
+                        help="number of seeded cases (default 25)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; case i runs with seed+i (default 0)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the per-case fault/workload window (s)")
+    parser.add_argument("--grace", type=float, default=6.0,
+                        help="liveness grace after forced heal (simulated s)")
+    parser.add_argument("--out", default="fuzz-failures",
+                        help="directory for minimized failure JSON files")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay one failure file instead of fuzzing")
+    parser.add_argument("--shrink-budget", type=int, default=150,
+                        help="max reruns spent minimizing each failure")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="save failures without minimizing")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="stop starting new cases after this many wall seconds")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        seed, config, schedule = load_failure(args.replay)
+        result = run_case(seed, config=config, schedule=schedule,
+                          grace=args.grace, duration=args.duration)
+        if result.ok:
+            print(f"replay {args.replay}: schedule no longer fails")
+            return 0
+        print(f"replay {args.replay}: {result.message}")
+        for line in schedule.describe().splitlines():
+            print(f"  {line}")
+        return 1
+
+    started = time.monotonic()
+    failures = 0
+    completed = 0
+    for i in range(args.runs):
+        if args.time_budget is not None and time.monotonic() - started >= args.time_budget:
+            print(f"time budget ({args.time_budget:g}s) reached after {completed} runs")
+            break
+        seed = args.seed + i
+        result = run_case(seed, grace=args.grace, duration=args.duration)
+        completed += 1
+        if result.ok:
+            print(f"seed {seed}: ok ({len(result.schedule)} fault steps, "
+                  f"{result.events_checked} events checked)")
+            continue
+        failures += 1
+        print(f"seed {seed}: FAIL {result.message}")
+        shrunk = result.schedule
+        if not args.no_shrink:
+            shrunk, reruns = shrink(result, budget=args.shrink_budget, grace=args.grace)
+            print(f"  shrunk {len(result.schedule)} -> {len(shrunk)} steps "
+                  f"({reruns} reruns)")
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / f"seed{seed}.json"
+        out_path.write_text(json.dumps(failure_to_dict(result, shrunk), indent=2) + "\n")
+        print(f"  wrote {out_path}")
+        for line in shrunk.describe().splitlines():
+            print(f"    {line}")
+    print(f"fuzz: {completed} runs, {failures} failures")
+    return 1 if failures else 0

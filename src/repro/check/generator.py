@@ -1,0 +1,125 @@
+"""Seeded random fault-schedule generation.
+
+Given a deployment's topology and a single :class:`random.Random`, draw a
+:class:`~repro.check.schedule.Schedule` composing process crashes (with
+optional restarts), network partitions, uniform-loss phases, and
+slow-network / slow-disk phases. The same seed always yields the same
+schedule — that, plus the deterministic simulator underneath, is what
+makes every fuzz failure a reproducible artifact.
+
+Faults land inside ``[5%, 85%]`` of the run's workload window, leaving the
+tail (plus the driver's forced heal-everything epilogue) for recovery.
+Stateful fault kinds — partition, loss, slow-net, slow-disk — draw
+*disjoint* windows per kind, so one partition object and one tunable loss
+suffice and phase starts/ends never interleave ambiguously.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .schedule import Schedule, ScheduleStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.deployment import MultiRingPaxos
+
+__all__ = ["Topology", "topology_of", "generate_schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Topology:
+    """What the generator needs to know about a deployment.
+
+    ``crash_targets`` are role names the schedule runner resolves
+    (``coordinator:R``, ``acceptor:R:I``, ``learner:I``, ``proposer:I``);
+    ``nodes`` are machine names eligible for partition islands.
+    """
+
+    crash_targets: tuple[str, ...]
+    nodes: tuple[str, ...]
+
+
+def topology_of(mrp: "MultiRingPaxos") -> Topology:
+    """Extract the crashable roles and partitionable machines of ``mrp``."""
+    targets: list[str] = []
+    for ring_id in sorted(mrp.rings):
+        targets.append(f"coordinator:{ring_id}")
+        for i in range(len(mrp.rings[ring_id].acceptors)):
+            targets.append(f"acceptor:{ring_id}:{i}")
+    for i in range(len(mrp.learners)):
+        targets.append(f"learner:{i}")
+    for i in range(len(mrp.proposers)):
+        targets.append(f"proposer:{i}")
+    return Topology(crash_targets=tuple(targets), nodes=tuple(sorted(mrp.network.nodes)))
+
+
+def _phase_windows(
+    rng: random.Random, lo: float, hi: float, count: int
+) -> list[tuple[float, float]]:
+    """``count`` disjoint (start, end) windows inside [lo, hi].
+
+    Drawn as 2·count sorted uniform points paired off — disjoint by
+    construction. Degenerate windows (shorter than 1% of the span) are
+    discarded rather than stretched, keeping the draw unbiased.
+    """
+    if count <= 0:
+        return []
+    points = sorted(rng.uniform(lo, hi) for _ in range(2 * count))
+    min_width = 0.01 * (hi - lo)
+    return [
+        (points[2 * i], points[2 * i + 1])
+        for i in range(count)
+        if points[2 * i + 1] - points[2 * i] >= min_width
+    ]
+
+
+def generate_schedule(
+    rng: random.Random, topology: Topology, duration: float
+) -> Schedule:
+    """Draw a random fault schedule for a run of ``duration`` seconds."""
+    lo, hi = 0.05 * duration, 0.85 * duration
+    steps: list[ScheduleStep] = []
+
+    # Crash episodes: each picks a role; most get a restart, some stay
+    # down until the driver's epilogue revives everything.
+    for _ in range(rng.randint(0, 3)):
+        target = rng.choice(topology.crash_targets)
+        t = rng.uniform(lo, hi)
+        steps.append(ScheduleStep(t, "crash", target=target))
+        if rng.random() < 0.8:
+            dt = rng.uniform(0.05, 0.4) * duration
+            steps.append(ScheduleStep(min(t + dt, hi), "restart", target=target))
+
+    # Partitions: island of up to half the machines, cut then healed.
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 2)):
+        k = rng.randint(1, max(1, len(topology.nodes) // 2))
+        island = tuple(sorted(rng.sample(list(topology.nodes), k)))
+        steps.append(ScheduleStep(start, "partition", island=island))
+        steps.append(ScheduleStep(end, "heal"))
+
+    # Uniform-loss phases.
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 2)):
+        steps.append(ScheduleStep(start, "loss", p=round(rng.uniform(0.01, 0.25), 4)))
+        steps.append(ScheduleStep(end, "loss_end"))
+
+    # Slow-network phase: propagation delay multiplied for a window.
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        steps.append(ScheduleStep(start, "slow_net", factor=round(rng.uniform(2.0, 20.0), 2)))
+        steps.append(ScheduleStep(end, "slow_net_end"))
+
+    # Slow-disk phase: drain rates divided for a window (durable runs).
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        steps.append(ScheduleStep(start, "slow_disk", factor=round(rng.uniform(2.0, 8.0), 2)))
+        steps.append(ScheduleStep(end, "slow_disk_end"))
+
+    if not steps:
+        # Every draw came up empty — force one crash/restart pair so a
+        # "fault schedule" always injects at least one fault.
+        target = rng.choice(topology.crash_targets)
+        t = rng.uniform(lo, 0.5 * (lo + hi))
+        steps.append(ScheduleStep(t, "crash", target=target))
+        steps.append(ScheduleStep(min(t + 0.2 * duration, hi), "restart", target=target))
+
+    return Schedule(steps)

@@ -1,0 +1,288 @@
+"""Passive safety oracles for Multi-Ring Paxos simulations.
+
+A :class:`SafetyOracles` instance subscribes to the protocol-level probe
+events (``repro.obs``) that proposers, learners and SMR replicas emit and
+continuously verifies the atomic-multicast specification (paper,
+Section II-B):
+
+* **Agreement** — no two learners decide different items for the same
+  (ring, consensus instance);
+* **Integrity** — every delivered message was proposed, and each learner
+  delivers it at most once;
+* **Per-ring total order & gap-freedom** — each learner's decided stream
+  covers logical instances contiguously from zero (data batches advance by
+  one, skip ranges by their length), so the skip path can never leak a gap
+  or a regression;
+* **Cross-ring partial order** — learners with overlapping subscriptions
+  deliver their common messages in the same relative order
+  (:meth:`SafetyOracles.check_final`, since the property is over whole
+  delivery histories);
+* **Replica convergence** — SMR replicas of one partition apply their
+  common commands in the same order (also in the final check).
+
+Oracles are *passive*: they subscribe to a probe bus, never schedule
+simulation events, and therefore never perturb a run — an instrumented
+simulation stays bit-for-bit identical to a bare one. Point-in-time
+violations raise :class:`OracleViolation` immediately, from inside the
+event that caused them, with enough context to replay the run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import ReproError
+from ..obs.probe import (
+    LEARNER_DECIDE,
+    LEARNER_DELIVER,
+    PROPOSER_MULTICAST,
+    REPLICA_APPLY,
+    ProbeBus,
+    ProbeEvent,
+)
+from ..sim.simulator import Simulator, observe_simulators
+
+__all__ = ["OracleViolation", "SafetyOracles", "oracle_watch"]
+
+
+class OracleViolation(ReproError):
+    """A safety oracle detected a specification violation.
+
+    Attributes
+    ----------
+    oracle:
+        Which property broke: ``agreement``, ``integrity``, ``ring-order``,
+        ``partial-order``, ``replica-order`` or (from the fuzz driver)
+        ``liveness``.
+    time:
+        Simulated time of the offending event (0 for whole-history checks).
+    source:
+        The emitting process (learner/replica name), when applicable.
+    context:
+        Free-form details (instances, fingerprints, message ids) for the
+        failure report.
+    """
+
+    def __init__(
+        self,
+        oracle: str,
+        message: str,
+        *,
+        time: float = 0.0,
+        source: str = "",
+        context: dict | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.time = time
+        self.source = source
+        self.context = dict(context or {})
+        where = f" at {source}" if source else ""
+        super().__init__(f"[{oracle}] t={time:.6f}{where}: {message}")
+
+
+class SafetyOracles:
+    """Continuously verify atomic-multicast safety over probe events.
+
+    One instance watches one simulation (state is keyed by ring ids and
+    process names, which are unique within a deployment). Attach with
+    :meth:`attach` — it reuses the simulator's probe bus or installs one —
+    or :meth:`subscribe` against an existing bus. Call :meth:`check_final`
+    after the run for the whole-history properties.
+    """
+
+    def __init__(self) -> None:
+        # (ring, instance) -> decided-item fingerprint (first decider wins).
+        self._decided: dict[tuple[int, int], tuple] = {}
+        # ring-learner process name -> next expected logical instance.
+        self._next_instance: dict[str, int] = {}
+        # Message identity is (sender, seq, group): per-ring proposers
+        # each run their own seq counter, so (sender, seq) alone collides
+        # across rings; group disambiguates (one ring orders a group).
+        self._proposed: set[tuple[str, int, int]] = set()
+        self._tracked_senders: set[str] = set()
+        # learner process name -> ordered log of (sender, seq, group).
+        self._delivery_log: dict[str, list[tuple[str, int, int]]] = {}
+        self._delivered: dict[str, set[tuple[str, int, int]]] = {}
+        # (partition, replica process name) -> ordered apply log.
+        self._apply_log: dict[tuple[int, str], list[tuple[str, int, str]]] = {}
+        self.events_checked = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator) -> "SafetyOracles":
+        """Subscribe to ``sim``'s probe bus, installing one if absent."""
+        if sim.probe is None:
+            sim.attach_probe(ProbeBus())
+        self.subscribe(sim.probe)
+        return self
+
+    def subscribe(self, bus: ProbeBus) -> "SafetyOracles":
+        """Subscribe the oracle handlers to ``bus``; returns self."""
+        bus.subscribe(self._on_propose, kind=PROPOSER_MULTICAST)
+        bus.subscribe(self._on_decide, kind=LEARNER_DECIDE)
+        bus.subscribe(self._on_deliver, kind=LEARNER_DELIVER)
+        bus.subscribe(self._on_apply, kind=REPLICA_APPLY)
+        return self
+
+    # ------------------------------------------------------------------
+    # Incremental checks (raise from inside the offending event)
+    # ------------------------------------------------------------------
+    def _on_propose(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        sender = ev.data["sender"]
+        self._proposed.add((sender, ev.data["seq"], ev.data["group"]))
+        self._tracked_senders.add(sender)
+
+    def _on_decide(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        ring = ev.data["ring"]
+        instance = ev.data["instance"]
+        fingerprint = ev.data["item"]
+        key = (ring, instance)
+        previous = self._decided.get(key)
+        if previous is None:
+            self._decided[key] = fingerprint
+        elif previous != fingerprint:
+            raise OracleViolation(
+                "agreement",
+                f"ring {ring} instance {instance} decided twice with different items",
+                time=ev.time,
+                source=ev.source,
+                context={"ring": ring, "instance": instance,
+                         "first": previous, "second": fingerprint},
+            )
+        expected = self._next_instance.get(ev.source, 0)
+        if instance != expected:
+            kind = "gap" if instance > expected else "regression"
+            raise OracleViolation(
+                "ring-order",
+                f"ring {ring} decided instance {instance}, expected {expected} ({kind})",
+                time=ev.time,
+                source=ev.source,
+                context={"ring": ring, "instance": instance, "expected": expected},
+            )
+        self._next_instance[ev.source] = instance + ev.data["count"]
+
+    def _on_deliver(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        learner = ev.source
+        message = (ev.data["sender"], ev.data["seq"], ev.data["group"])
+        seen = self._delivered.setdefault(learner, set())
+        if message in seen:
+            raise OracleViolation(
+                "integrity",
+                f"message {message} delivered twice",
+                time=ev.time,
+                source=learner,
+                context={"message": message},
+            )
+        seen.add(message)
+        self._delivery_log.setdefault(learner, []).append(message)
+        # The sender is a tracked proposer: the delivery must match a
+        # proposal exactly. (Values injected below the proposer API —
+        # hand-built streams in unit tests, interop feeds — have no
+        # proposal record and are exempt.)
+        if ev.data["sender"] in self._tracked_senders and message not in self._proposed:
+            raise OracleViolation(
+                "integrity",
+                f"delivered message {message} was never proposed",
+                time=ev.time,
+                source=learner,
+                context={"message": message},
+            )
+
+    def _on_apply(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        key = (ev.data["partition"], ev.source)
+        self._apply_log.setdefault(key, []).append(
+            (ev.data["client"], ev.data["req_id"], ev.data["op"])
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-history checks
+    # ------------------------------------------------------------------
+    def check_final(self) -> None:
+        """Verify the order properties that span whole delivery histories.
+
+        Raises :class:`OracleViolation` if two learners deliver their
+        common messages in different relative orders (uniform partial
+        order), or two replicas of one partition apply their common
+        commands in different orders.
+        """
+        self._check_pairwise_common_order(
+            self._delivery_log, oracle="partial-order", what="messages"
+        )
+        by_partition: dict[int, dict[str, list]] = {}
+        for (partition, replica), log in self._apply_log.items():
+            by_partition.setdefault(partition, {})[replica] = log
+        for partition, logs in by_partition.items():
+            self._check_pairwise_common_order(
+                logs, oracle="replica-order", what=f"partition {partition} commands"
+            )
+
+    @staticmethod
+    def _check_pairwise_common_order(logs: dict[str, list], oracle: str, what: str) -> None:
+        names = sorted(logs)
+        for i, a in enumerate(names):
+            log_a = logs[a]
+            set_a = set(log_a)
+            for b in names[i + 1:]:
+                log_b = logs[b]
+                common = set_a & set(log_b)
+                if not common:
+                    continue
+                seq_a = [m for m in log_a if m in common]
+                seq_b = [m for m in log_b if m in common]
+                if seq_a != seq_b:
+                    divergence = next(
+                        (idx, x, y) for idx, (x, y) in enumerate(zip(seq_a, seq_b)) if x != y
+                    )
+                    raise OracleViolation(
+                        oracle,
+                        f"{a} and {b} deliver common {what} in different orders "
+                        f"(first divergence at common index {divergence[0]}: "
+                        f"{divergence[1]} vs {divergence[2]})",
+                        context={"a": a, "b": b, "index": divergence[0],
+                                 "a_delivers": divergence[1], "b_delivers": divergence[2]},
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the fuzz driver's liveness check)
+    # ------------------------------------------------------------------
+    @property
+    def proposed_messages(self) -> list[tuple[str, int, int]]:
+        """All proposals seen, as sorted (sender, seq, group) tuples."""
+        return sorted(self._proposed)
+
+    def delivered_by(self, learner: str) -> set[tuple[str, int, int]]:
+        """The (sender, seq, group) set a learner has delivered."""
+        return set(self._delivered.get(learner, ()))
+
+    def delivery_count(self, learner: str) -> int:
+        """Number of messages a learner has delivered."""
+        return len(self._delivery_log.get(learner, ()))
+
+
+@contextmanager
+def oracle_watch() -> Iterator[list[SafetyOracles]]:
+    """Attach a :class:`SafetyOracles` to every simulator created inside.
+
+    The integration and property suites run under this watch (see their
+    ``conftest.py``): any simulation they build gets the full oracle set
+    for free, and the whole-history checks run on exit. Yields the list of
+    attached oracles (one per simulator, in creation order).
+    """
+    attached: list[SafetyOracles] = []
+
+    def on_simulator(sim: Simulator) -> None:
+        attached.append(SafetyOracles().attach(sim))
+
+    remove = observe_simulators(on_simulator)
+    try:
+        yield attached
+    finally:
+        remove()
+        for oracles in attached:
+            oracles.check_final()

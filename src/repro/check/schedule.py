@@ -1,0 +1,271 @@
+"""Replayable fault schedules: a JSON-serializable fault timeline.
+
+A :class:`Schedule` is a flat, time-ordered list of :class:`ScheduleStep`
+records — crash/restart of a named role, partition/heal of a node island,
+loss phases, and slow-network / slow-disk phases. It is pure data: the
+whole schedule round-trips through JSON, which is what makes a failing
+fuzz run a *file* (``repro fuzz --replay failure.json``) rather than a
+stack trace.
+
+:class:`ScheduleRunner` resolves the step targets against a live
+:class:`~repro.core.deployment.MultiRingPaxos` deployment and installs
+them on the simulator timeline through a
+:class:`~repro.sim.faults.FaultSchedule`. Targets are *role names*
+(``coordinator:0``, ``acceptor:1:0``, ``learner:2``, ``proposer:0``), not
+object references, so the same schedule file applies to a freshly rebuilt
+deployment — resolution happens when the step fires.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..sim.faults import FaultSchedule, NetworkPartition
+from ..sim.loss import TunableLoss
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.deployment import MultiRingPaxos
+
+__all__ = ["ScheduleStep", "Schedule", "ScheduleRunner", "ACTIONS"]
+
+# Paired phase actions: the second member ends what the first started.
+ACTIONS = (
+    "crash", "restart",
+    "partition", "heal",
+    "loss", "loss_end",
+    "slow_net", "slow_net_end",
+    "slow_disk", "slow_disk_end",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleStep:
+    """One fault event on the timeline.
+
+    Fields are action-dependent: ``target`` for crash/restart, ``island``
+    for partition, ``p`` for loss phases, ``factor`` for slow phases.
+    """
+
+    time: float
+    action: str
+    target: str | None = None
+    island: tuple[str, ...] | None = None
+    p: float | None = None
+    factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigurationError(f"unknown schedule action {self.action!r}")
+        if self.time < 0:
+            raise ConfigurationError("schedule steps cannot be scheduled in the past")
+
+    def as_dict(self) -> dict:
+        out: dict = {"t": self.time, "action": self.action}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.island is not None:
+            out["island"] = list(self.island)
+        if self.p is not None:
+            out["p"] = self.p
+        if self.factor is not None:
+            out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleStep":
+        island = data.get("island")
+        return cls(
+            time=float(data["t"]),
+            action=data["action"],
+            target=data.get("target"),
+            island=tuple(island) if island is not None else None,
+            p=data.get("p"),
+            factor=data.get("factor"),
+        )
+
+    def describe(self) -> str:
+        detail = self.target or ""
+        if self.island is not None:
+            detail = "{" + ",".join(self.island) + "}"
+        if self.p is not None:
+            detail = f"p={self.p:g}"
+        if self.factor is not None:
+            detail = f"x{self.factor:g}"
+        return f"t={self.time:g}s {self.action} {detail}".rstrip()
+
+
+@dataclass(slots=True)
+class Schedule:
+    """A replayable fault schedule (sorted by step time on construction)."""
+
+    steps: list[ScheduleStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Stable sort: steps at identical times keep their listed order,
+        # matching the event queue's scheduling-order tie-break.
+        self.steps = sorted(self.steps, key=lambda s: s.time)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def without(self, index: int) -> "Schedule":
+        """A copy with step ``index`` removed (the shrinker's one move)."""
+        return Schedule(self.steps[:index] + self.steps[index + 1:])
+
+    def describe(self) -> str:
+        """Readable one-line-per-step summary, time-ordered."""
+        return "\n".join(step.describe() for step in self.steps)
+
+    def as_dict(self) -> dict:
+        return {"steps": [step.as_dict() for step in self.steps]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        return cls([ScheduleStep.from_dict(s) for s in data["steps"]])
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        return cls.from_dict(json.loads(text))
+
+
+class ScheduleRunner:
+    """Installs a :class:`Schedule` onto a live deployment's timeline.
+
+    Parameters
+    ----------
+    mrp:
+        The deployment whose roles the step targets name.
+    partition / loss:
+        The partition object and tunable loss the deployment's network
+        was built with (the fuzz driver stacks
+        ``NetworkPartition(..., underlying=TunableLoss())``).
+    """
+
+    def __init__(
+        self,
+        mrp: "MultiRingPaxos",
+        partition: NetworkPartition,
+        loss: TunableLoss,
+    ) -> None:
+        self.mrp = mrp
+        self.partition = partition
+        self.loss = loss
+        self.faults = FaultSchedule(mrp.sim)
+        self._base_delay = mrp.network.propagation_delay
+        self._base_disk_rates = {
+            name: node.disk.drain.rate
+            for name, node in mrp.network.nodes.items()
+            if node.disk is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, schedule: Schedule) -> "ScheduleRunner":
+        """Schedule every step; resolution happens when each step fires."""
+        for step in schedule.steps:
+            self._install_step(step)
+        return self
+
+    def _install_step(self, step: ScheduleStep) -> None:
+        t, action = step.time, step.action
+        if action in ("crash", "restart"):
+            assert step.target is not None
+            self.faults.act_at(t, f"{action} {step.target}", self._role_action, action, step.target)
+        elif action == "partition":
+            assert step.island is not None
+            self.faults.repartition_at(t, self.partition, step.island)
+        elif action == "heal":
+            self.faults.heal_at(t, self.partition)
+        elif action == "loss":
+            assert step.p is not None
+            self.faults.set_loss_at(t, self.loss, step.p)
+        elif action == "loss_end":
+            self.faults.set_loss_at(t, self.loss, 0.0)
+        elif action == "slow_net":
+            assert step.factor is not None
+            self.faults.act_at(t, f"slow_net x{step.factor:g}", self._set_delay, step.factor)
+        elif action == "slow_net_end":
+            self.faults.act_at(t, "slow_net_end", self._set_delay, 1.0)
+        elif action == "slow_disk":
+            assert step.factor is not None
+            self.faults.act_at(t, f"slow_disk /{step.factor:g}", self._scale_disks, step.factor)
+        elif action == "slow_disk_end":
+            self.faults.act_at(t, "slow_disk_end", self._scale_disks, 1.0)
+
+    # ------------------------------------------------------------------
+    # Step actions
+    # ------------------------------------------------------------------
+    def _role_action(self, action: str, target: str) -> None:
+        """Crash or restart the role ``target`` names, as of *now*.
+
+        Both operations are idempotent (crashing a crashed process or
+        restarting a running one is a no-op), so generated schedules never
+        need global coordination. A target that no longer resolves — an
+        acceptor index vacated by a reconfiguration — is skipped: the
+        schedule stays applicable to whatever the deployment has become.
+        """
+        kind, _, rest = target.partition(":")
+        try:
+            if kind == "coordinator":
+                ring = int(rest)
+                if action == "crash":
+                    self.mrp.crash_coordinator(ring)
+                else:
+                    self.mrp.restart_coordinator(ring)
+                return
+            if kind == "acceptor":
+                ring_s, _, index_s = rest.partition(":")
+                role = self.mrp.rings[int(ring_s)].acceptors[int(index_s)]
+            elif kind == "learner":
+                role = self.mrp.learners[int(rest)]
+            elif kind == "proposer":
+                role = self.mrp.proposers[int(rest)]
+            else:
+                raise ConfigurationError(f"unknown schedule target {target!r}")
+        except (IndexError, KeyError):
+            return
+        if action == "crash":
+            role.crash()
+            role.node.crash()
+        else:
+            role.node.restart()
+            role.restart()
+
+    def _set_delay(self, factor: float) -> None:
+        self.mrp.network.propagation_delay = self._base_delay * factor
+
+    def _scale_disks(self, factor: float) -> None:
+        for name, base_rate in self._base_disk_rates.items():
+            self.mrp.network.nodes[name].disk.drain.rate = base_rate / factor
+
+    # ------------------------------------------------------------------
+    # The driver's epilogue
+    # ------------------------------------------------------------------
+    def heal_everything(self) -> None:
+        """Clear every fault as of *now*: the liveness-after-heal baseline.
+
+        Heals the partition, zeroes the loss, restores link and disk
+        speeds, and restarts every role and machine. All idempotent — the
+        driver calls this unconditionally after the scheduled window, so
+        liveness is always checked against a whole network (a schedule
+        that never heals must not read as a liveness bug).
+        """
+        self.partition.heal()
+        self.loss.set(0.0)
+        self._set_delay(1.0)
+        self._scale_disks(1.0)
+        for ring_id, handle in self.mrp.rings.items():
+            for acceptor in handle.acceptors:
+                acceptor.node.restart()
+                acceptor.restart()
+            self.mrp.restart_coordinator(ring_id)
+        for role in (*self.mrp.learners, *self.mrp.proposers):
+            role.node.restart()
+            role.restart()

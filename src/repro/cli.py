@@ -10,6 +10,10 @@ Usage::
 
 The same experiment definitions back the pytest benchmarks (which add the
 shape assertions); see ``repro.bench.figures``.
+
+``python -m repro fuzz ...`` dispatches to the simulation fuzzer instead
+(randomized fault schedules under safety oracles — see ``repro.check``
+and docs/fuzzing.md); run ``python -m repro fuzz --help`` for its options.
 """
 
 from __future__ import annotations
@@ -52,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        # The fuzzer has its own option set; hand everything after the
+        # subcommand to its parser (see repro.check.driver.fuzz_main).
+        from .check.driver import fuzz_main
+
+        return fuzz_main(argv[1:])
     args = _build_parser().parse_args(argv)
     names = list(args.experiments)
     if names == ["list"]:

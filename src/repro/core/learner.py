@@ -147,6 +147,14 @@ class MultiRingLearner(Process):
         lag = max(0.0, now - value.created_at)
         self.latency.record(lag)
         self.latency_series.record(now, lag)
+        probe = self.sim.probe
+        if probe is not None and probe.wants("learner.deliver"):
+            probe.emit(
+                "learner.deliver", now, self.name,
+                node=self.node.name, group=value.group,
+                sender=value.sender, seq=value.seq,
+                ring=ring_id, instance=instance,
+            )
         if self.on_deliver is not None:
             self.on_deliver(value.group, value)
 

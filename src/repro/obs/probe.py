@@ -9,7 +9,20 @@ events the simulated substrate can emit:
 * ``net.deliver`` — a message was handed to a destination node;
 * ``net.drop`` — the loss model discarded a receiver leg;
 * ``server.busy`` — a FIFO server (CPU, NIC direction, disk drain)
-  accepted work occupying ``[start, finish]``.
+  accepted work occupying ``[start, finish]``;
+* ``proposer.multicast`` — a ring proposer submitted a new client value
+  (the *proposed* set the integrity oracle checks deliveries against);
+* ``learner.decide`` — a ring learner emitted a decided item in logical
+  instance order (data batch or skip range, with a content fingerprint);
+* ``learner.deliver`` — a multi-ring learner delivered an application
+  message in merged order;
+* ``replica.apply`` — an SMR replica applied a command to its state
+  machine.
+
+The protocol-level kinds exist for the safety oracles of ``repro.check``:
+passive checkers subscribe to them and verify agreement, integrity,
+per-ring total order and cross-ring partial order while a simulation
+runs.
 
 Emitters hold an optional bus reference and guard every emission with a
 single ``is not None`` check, so an unobserved simulation pays one
@@ -24,9 +37,13 @@ from typing import Any, Callable
 
 __all__ = [
     "EVENT_FIRED",
+    "LEARNER_DECIDE",
+    "LEARNER_DELIVER",
     "NET_DELIVER",
     "NET_DROP",
     "NET_ENQUEUE",
+    "PROPOSER_MULTICAST",
+    "REPLICA_APPLY",
     "SERVER_BUSY",
     "ProbeEvent",
     "ProbeBus",
@@ -37,6 +54,10 @@ NET_ENQUEUE = "net.enqueue"
 NET_DELIVER = "net.deliver"
 NET_DROP = "net.drop"
 SERVER_BUSY = "server.busy"
+PROPOSER_MULTICAST = "proposer.multicast"
+LEARNER_DECIDE = "learner.decide"
+LEARNER_DELIVER = "learner.deliver"
+REPLICA_APPLY = "replica.apply"
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,6 +120,16 @@ class ProbeBus:
     def has_subscribers(self) -> bool:
         """True when at least one subscriber is registered."""
         return bool(self._wildcard) or any(self._by_kind.values())
+
+    def wants(self, kind: str) -> bool:
+        """True when an emission of ``kind`` would reach a subscriber.
+
+        Hot emitters whose event payload is itself costly to build (item
+        fingerprints, multi-field dicts) check this before constructing
+        the ``emit`` arguments, so an attached-but-unobserved kind stays
+        as close to free as an absent bus.
+        """
+        return bool(self._by_kind.get(kind)) or bool(self._wildcard)
 
     def emit(self, kind: str, time: float, source: str, **data: Any) -> None:
         """Publish one event; no-op (after one lookup) with no subscriber."""

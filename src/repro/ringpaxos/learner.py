@@ -49,6 +49,18 @@ from .valuestore import ValueStore
 __all__ = ["RingLearner"]
 
 
+def _item_fingerprint(item: DataBatch | SkipRange) -> tuple:
+    """Content fingerprint of a decided item, for the agreement oracle.
+
+    Identifies the item by what was decided — the batched values' (sender,
+    seq, group) identities, or the skip length — not by the value id alone,
+    so id reuse across coordinator changes cannot mask a divergence.
+    """
+    if isinstance(item, DataBatch):
+        return ("batch", item.value_id, tuple((v.sender, v.seq, v.group) for v in item.values))
+    return ("skip", item.count)
+
+
 class RingLearner(Process):
     """Learner role for one ring.
 
@@ -225,6 +237,14 @@ class RingLearner(Process):
                 self.values.forget(item.value_id)
             else:
                 self.skipped_instances.inc(item.count)
+            probe = self.sim.probe
+            if probe is not None and probe.wants("learner.decide"):
+                probe.emit(
+                    "learner.decide", self.sim.now, self.name,
+                    ring=self.config.ring_id, node=self.node.name,
+                    instance=instance, count=item.instance_count,
+                    item=_item_fingerprint(item),
+                )
             if self.on_decide is not None:
                 # Merge mode (Multi-Ring Paxos): the merger consumes items
                 # and does the delivery accounting — latency must include

@@ -59,6 +59,11 @@ class RingProposer(Process):
 
         ``group`` tags the value with its atomic-multicast group id — only
         meaningful when several groups share one ring (Section IV-D).
+
+        A crashed proposer drops the submission without consuming a
+        sequence number: the coordinator restores per-sender FIFO order by
+        buffering seq gaps, and a seq burned while down would leave a hole
+        nothing can ever fill — wedging the sender's stream for good.
         """
         value = ClientValue(
             payload=payload,
@@ -68,11 +73,18 @@ class RingProposer(Process):
             created_at=self.sim.now,
             group=group,
         )
-        self.seq += 1
         if not self.crashed:
+            self.seq += 1
             self.sent.inc()
             self.sent_bytes.inc(size)
             self._unacked[value.seq] = value
+            probe = self.sim.probe
+            if probe is not None and probe.wants("proposer.multicast"):
+                probe.emit(
+                    "proposer.multicast", self.sim.now, self.name,
+                    sender=value.sender, seq=value.seq, group=group,
+                    ring=self.config.ring_id, size=size,
+                )
             self._send(value)
             if not self._retransmit_timer.running:
                 self._retransmit_timer.start()

@@ -11,7 +11,7 @@ from .cpu import Cpu
 from .disk import Disk
 from .events import Event, EventQueue
 from .faults import FaultSchedule, NetworkPartition
-from .loss import BurstLoss, LossModel, NoLoss, UniformLoss
+from .loss import BurstLoss, LossModel, NoLoss, TunableLoss, UniformLoss
 from .network import Network, Nic
 from .node import Node
 from .process import PeriodicTimer, Process, Timer
@@ -39,6 +39,7 @@ __all__ = [
     "RandomStreams",
     "Simulator",
     "Timer",
+    "TunableLoss",
     "TraceEvent",
     "Tracer",
     "UniformLoss",

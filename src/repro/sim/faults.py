@@ -20,9 +20,9 @@ on a real network.
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Any, Callable, Iterable
 
-from .loss import LossModel, NoLoss
+from .loss import LossModel, NoLoss, TunableLoss
 from .simulator import Simulator
 
 __all__ = ["NetworkPartition", "FaultSchedule"]
@@ -95,6 +95,46 @@ class FaultSchedule:
         """Heal ``partition`` at ``time``."""
         self.events.append((time, "heal", partition))
         self.sim.at(time, partition.heal)
+        return self
+
+    def repartition_at(
+        self, time: float, partition: NetworkPartition, island: Iterable[str]
+    ) -> "FaultSchedule":
+        """Re-cut ``partition`` around a new ``island`` at ``time``.
+
+        Lets one partition object model a sequence of different cuts (as
+        generated fault schedules do): the island is swapped and the
+        partition activated in the same event.
+        """
+        members = set(island)
+        self.events.append((time, "partition", partition))
+
+        def recut() -> None:
+            partition.island = members
+            partition.activate()
+
+        self.sim.at(time, recut)
+        return self
+
+    def set_loss_at(self, time: float, loss: TunableLoss, p: float) -> "FaultSchedule":
+        """Set ``loss``'s drop probability to ``p`` at ``time``.
+
+        Schedules both edges of a loss phase: a positive ``p`` starts it,
+        a later ``set_loss_at(..., 0.0)`` ends it.
+        """
+        self.events.append((time, f"loss p={p:g}", loss))
+        self.sim.at(time, loss.set, p)
+        return self
+
+    def act_at(self, time: float, label: str, fn: Callable[..., None], *args: Any) -> "FaultSchedule":
+        """Schedule an arbitrary fault action (slow-link/slow-disk phases).
+
+        ``label`` is what :meth:`describe` prints; ``fn(*args)`` runs at
+        ``time``. Generated schedules use this for phases that have no
+        dedicated helper, keeping every injected fault on one timeline.
+        """
+        self.events.append((time, label, fn))
+        self.sim.at(time, fn, *args)
         return self
 
     def describe(self) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import Protocol
 
-__all__ = ["LossModel", "NoLoss", "UniformLoss", "BurstLoss"]
+__all__ = ["LossModel", "NoLoss", "UniformLoss", "BurstLoss", "TunableLoss"]
 
 
 class LossModel(Protocol):
@@ -39,6 +39,34 @@ class UniformLoss:
 
     def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
         return rng.random() < self.p
+
+
+class TunableLoss:
+    """Uniform loss whose probability can change mid-run.
+
+    The fuzz harness (``repro.check``) uses this for *loss phases*: a
+    generated schedule raises the drop probability for a window and resets
+    it to zero afterwards. At ``p == 0`` no random draw is consumed, so a
+    schedule without loss phases leaves the loss stream untouched.
+    """
+
+    def __init__(self, p: float = 0.0) -> None:
+        self.set(p)
+        self.dropped = 0
+
+    def set(self, p: float) -> None:
+        """Change the drop probability (takes effect immediately)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("loss probability must be within [0, 1]")
+        self.p = p
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
+        if self.p <= 0.0:
+            return False
+        if rng.random() < self.p:
+            self.dropped += 1
+            return True
+        return False
 
 
 class BurstLoss:

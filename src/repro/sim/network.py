@@ -192,7 +192,7 @@ class Network:
         depart = self.nics[src].egress.submit(float(size))
         self.nics[src].bytes_sent += size
         self.nics[src].messages_sent += 1
-        if self.probe is not None:
+        if self.probe is not None and self.probe.wants("net.enqueue"):
             self.probe.emit(
                 "net.enqueue", self.sim.now, src,
                 dst=dst, port=port, msg=type(msg).__name__, size=size,
@@ -215,7 +215,7 @@ class Network:
         depart = self.nics[src].egress.submit(float(size))
         self.nics[src].bytes_sent += size
         self.nics[src].messages_sent += 1
-        if self.probe is not None:
+        if self.probe is not None and self.probe.wants("net.enqueue"):
             self.probe.emit(
                 "net.enqueue", self.sim.now, src,
                 group=group, fanout=len(members), port=port,
@@ -234,7 +234,7 @@ class Network:
     def _propagate(self, depart: float, src: str, dst: str, port: str, msg: Any, size: int) -> None:
         if self.loss.should_drop(self._rng, src, dst, size):
             self.messages_dropped += 1
-            if self.probe is not None:
+            if self.probe is not None and self.probe.wants("net.drop"):
                 self.probe.emit(
                     "net.drop", self.sim.now, src,
                     dst=dst, port=port, msg=type(msg).__name__, size=size,
@@ -247,7 +247,7 @@ class Network:
         node = self.nodes.get(dst)
         if node is None or not node.up:
             return
-        if self.probe is not None:
+        if self.probe is not None and self.probe.wants("net.deliver"):
             self.probe.emit(
                 "net.deliver", self.sim.now, dst,
                 src=src, port=port, msg=type(msg).__name__, size=size,

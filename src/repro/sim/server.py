@@ -73,7 +73,7 @@ class FifoServer:
         self.jobs_served += 1
         self.demand_served += demand
         self._record_interval(start, finish)
-        if self.probe is not None:
+        if self.probe is not None and self.probe.wants("server.busy"):
             self.probe.emit(
                 "server.busy", self.sim.now, self.name,
                 start=start, finish=finish, demand=demand,

@@ -117,7 +117,7 @@ class Simulator:
             raise SimulationError("event queue produced an event in the past")
         self.now = event.time
         self._events_executed += 1
-        if self._probe is not None:
+        if self._probe is not None and self._probe.wants("sim.event"):
             fn = event.fn
             self._probe.emit(
                 "sim.event",

@@ -103,6 +103,13 @@ class Replica(Process):
             return
         result = self.state_machine.apply(self._clip(command))
         self.executed.inc()
+        probe = self.sim.probe
+        if probe is not None and probe.wants("replica.apply"):
+            probe.emit(
+                "replica.apply", self.sim.now, self.name,
+                node=self.node.name, partition=self.partition,
+                op=command.op, client=command.client, req_id=command.req_id,
+            )
         if self.respond and command.client:
             response = Response(
                 req_id=command.req_id,

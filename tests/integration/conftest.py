@@ -1,0 +1,17 @@
+"""Integration tests run under the full safety-oracle watch.
+
+Every simulator an integration test creates gets the agreement /
+integrity / ring-order oracles attached (via the probe bus), and the
+whole-history order checks run when the test ends — each existing
+scenario doubles as an oracle check at zero test-code cost.
+"""
+
+import pytest
+
+from repro.check import oracle_watch
+
+
+@pytest.fixture(autouse=True)
+def safety_oracles():
+    with oracle_watch() as oracles:
+        yield oracles

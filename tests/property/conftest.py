@@ -1,0 +1,17 @@
+"""Property tests run under the safety-oracle watch.
+
+Module-scoped (not per-test): Hypothesis forbids function-scoped autouse
+fixtures around @given tests, and the oracles key their state per
+simulator anyway — every example's fresh simulator gets a fresh oracle
+set, so the wider scope loses nothing.
+"""
+
+import pytest
+
+from repro.check import oracle_watch
+
+
+@pytest.fixture(scope="module", autouse=True)
+def safety_oracles():
+    with oracle_watch() as oracles:
+        yield oracles

@@ -1,0 +1,249 @@
+"""Unit tests for the safety oracles (`repro.check.oracles`).
+
+Each oracle is exercised directly through a bare :class:`ProbeBus` —
+feeding it exactly the probe events the protocol roles emit — so every
+violation path is pinned without needing to engineer a real protocol bug.
+"""
+
+import pytest
+
+from repro.check import OracleViolation, SafetyOracles, oracle_watch
+from repro.obs.probe import (
+    LEARNER_DECIDE,
+    LEARNER_DELIVER,
+    PROPOSER_MULTICAST,
+    REPLICA_APPLY,
+    ProbeBus,
+)
+from repro.sim import Simulator
+
+
+def _watched_bus():
+    bus = ProbeBus()
+    oracles = SafetyOracles().subscribe(bus)
+    return bus, oracles
+
+
+def _propose(bus, sender, seq, group=0):
+    bus.emit(PROPOSER_MULTICAST, 0.0, f"prop-{sender}", sender=sender, seq=seq,
+             group=group, ring=0, size=64)
+
+
+def _decide(bus, learner, ring, instance, item, count=1, t=1.0):
+    bus.emit(LEARNER_DECIDE, t, learner, ring=ring, node=f"n-{learner}",
+             instance=instance, count=count, item=item)
+
+
+def _deliver(bus, learner, sender, seq, group=0, t=1.0):
+    bus.emit(LEARNER_DELIVER, t, learner, node=f"n-{learner}", group=group,
+             sender=sender, seq=seq, ring=0, instance=0)
+
+
+class TestAgreement:
+    def test_same_item_from_two_learners_is_fine(self):
+        bus, oracles = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v1", ()))
+        _decide(bus, "l1", ring=0, instance=0, item=("batch", "v1", ()))
+        assert oracles.events_checked == 2
+
+    def test_conflicting_items_raise(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v1", ()))
+        with pytest.raises(OracleViolation) as exc:
+            _decide(bus, "l1", ring=0, instance=0, item=("batch", "v2", ()))
+        assert exc.value.oracle == "agreement"
+        assert exc.value.source == "l1"
+
+    def test_same_instance_different_rings_is_fine(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v1", ()))
+        _decide(bus, "l1", ring=1, instance=0, item=("batch", "v2", ()))
+
+
+class TestRingOrder:
+    def test_contiguous_instances_pass(self):
+        bus, _ = _watched_bus()
+        for i in range(5):
+            _decide(bus, "l0", ring=0, instance=i, item=("batch", f"v{i}", ()))
+
+    def test_gap_raises(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v0", ()))
+        with pytest.raises(OracleViolation) as exc:
+            _decide(bus, "l0", ring=0, instance=2, item=("batch", "v2", ()))
+        assert exc.value.oracle == "ring-order"
+        assert "gap" in str(exc.value)
+
+    def test_regression_raises(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v0", ()))
+        _decide(bus, "l0", ring=0, instance=1, item=("batch", "v1", ()))
+        with pytest.raises(OracleViolation) as exc:
+            _decide(bus, "l0", ring=0, instance=0, item=("batch", "v0", ()))
+        assert "regression" in str(exc.value)
+
+    def test_skip_range_advances_by_count(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=0, instance=0, item=("batch", "v0", ()))
+        _decide(bus, "l0", ring=0, instance=1, item=("skip", 10), count=10)
+        _decide(bus, "l0", ring=0, instance=11, item=("batch", "v1", ()))
+
+    def test_not_starting_at_zero_raises(self):
+        bus, _ = _watched_bus()
+        with pytest.raises(OracleViolation) as exc:
+            _decide(bus, "l0", ring=0, instance=3, item=("batch", "v3", ()))
+        assert exc.value.oracle == "ring-order"
+
+
+class TestIntegrity:
+    def test_proposed_then_delivered_passes(self):
+        bus, oracles = _watched_bus()
+        _propose(bus, "c0", 1)
+        _deliver(bus, "l0", "c0", 1)
+        assert oracles.delivered_by("l0") == {("c0", 1, 0)}
+
+    def test_duplicate_delivery_raises(self):
+        bus, _ = _watched_bus()
+        _propose(bus, "c0", 1)
+        _deliver(bus, "l0", "c0", 1)
+        with pytest.raises(OracleViolation) as exc:
+            _deliver(bus, "l0", "c0", 1)
+        assert exc.value.oracle == "integrity"
+        assert "twice" in str(exc.value)
+
+    def test_same_message_two_learners_is_fine(self):
+        bus, _ = _watched_bus()
+        _propose(bus, "c0", 1)
+        _deliver(bus, "l0", "c0", 1)
+        _deliver(bus, "l1", "c0", 1)
+
+    def test_phantom_from_tracked_sender_raises(self):
+        bus, _ = _watched_bus()
+        _propose(bus, "c0", 1)
+        with pytest.raises(OracleViolation) as exc:
+            _deliver(bus, "l0", "c0", 99)
+        assert exc.value.oracle == "integrity"
+        assert "never proposed" in str(exc.value)
+
+    def test_untracked_sender_is_exempt(self):
+        # Values injected below the proposer API (hand-built streams,
+        # interop feeds) have no proposal record and must not trip the
+        # oracle.
+        bus, _ = _watched_bus()
+        _deliver(bus, "l0", "outsider", 7)
+
+    def test_group_is_part_of_identity(self):
+        bus, _ = _watched_bus()
+        _propose(bus, "c0", 1, group=0)
+        with pytest.raises(OracleViolation):
+            _deliver(bus, "l0", "c0", 1, group=1)
+
+
+class TestWholeHistoryChecks:
+    def test_consistent_partial_order_passes(self):
+        bus, oracles = _watched_bus()
+        for learner in ("l0", "l1"):
+            _deliver(bus, learner, "a", 1)
+            _deliver(bus, learner, "b", 1)
+            _deliver(bus, learner, "a", 2)
+        oracles.check_final()
+
+    def test_divergent_common_order_raises(self):
+        bus, oracles = _watched_bus()
+        _deliver(bus, "l0", "a", 1)
+        _deliver(bus, "l0", "b", 1)
+        _deliver(bus, "l1", "b", 1)
+        _deliver(bus, "l1", "a", 1)
+        with pytest.raises(OracleViolation) as exc:
+            oracles.check_final()
+        assert exc.value.oracle == "partial-order"
+
+    def test_disjoint_histories_pass(self):
+        bus, oracles = _watched_bus()
+        _deliver(bus, "l0", "a", 1)
+        _deliver(bus, "l1", "b", 1)
+        oracles.check_final()
+
+    def test_uncommon_messages_interleaved_pass(self):
+        # l1 skips "b" (different subscription): only the common
+        # subsequence must agree.
+        bus, oracles = _watched_bus()
+        _deliver(bus, "l0", "a", 1)
+        _deliver(bus, "l0", "b", 1)
+        _deliver(bus, "l0", "a", 2)
+        _deliver(bus, "l1", "a", 1)
+        _deliver(bus, "l1", "a", 2)
+        oracles.check_final()
+
+    def test_replica_order_divergence_raises(self):
+        bus, oracles = _watched_bus()
+        bus.emit(REPLICA_APPLY, 1.0, "r0", node="n0", partition=0,
+                 op="set", client="c", req_id=1)
+        bus.emit(REPLICA_APPLY, 1.0, "r0", node="n0", partition=0,
+                 op="set", client="c", req_id=2)
+        bus.emit(REPLICA_APPLY, 1.0, "r1", node="n1", partition=0,
+                 op="set", client="c", req_id=2)
+        bus.emit(REPLICA_APPLY, 1.0, "r1", node="n1", partition=0,
+                 op="set", client="c", req_id=1)
+        with pytest.raises(OracleViolation) as exc:
+            oracles.check_final()
+        assert exc.value.oracle == "replica-order"
+
+    def test_replicas_of_different_partitions_independent(self):
+        bus, oracles = _watched_bus()
+        bus.emit(REPLICA_APPLY, 1.0, "r0", node="n0", partition=0,
+                 op="set", client="c", req_id=1)
+        bus.emit(REPLICA_APPLY, 1.0, "r1", node="n1", partition=1,
+                 op="set", client="c", req_id=2)
+        oracles.check_final()
+
+
+class TestWiring:
+    def test_attach_installs_bus_when_absent(self):
+        sim = Simulator(seed=1)
+        assert sim.probe is None
+        oracles = SafetyOracles().attach(sim)
+        assert sim.probe is not None
+        sim.probe.emit(PROPOSER_MULTICAST, 0.0, "p0", sender="c0", seq=1,
+                       group=0, ring=0, size=64)
+        assert oracles.events_checked == 1
+
+    def test_attach_reuses_existing_bus(self):
+        sim = Simulator(seed=1)
+        bus = ProbeBus()
+        sim.attach_probe(bus)
+        SafetyOracles().attach(sim)
+        assert sim.probe is bus
+
+    def test_oracle_watch_covers_new_simulators(self):
+        with oracle_watch() as attached:
+            sim = Simulator(seed=3)
+            assert len(attached) == 1
+            assert sim.probe is not None
+
+    def test_oracle_watch_runs_final_checks_on_exit(self):
+        with pytest.raises(OracleViolation):
+            with oracle_watch():
+                sim = Simulator(seed=3)
+                _deliver(sim.probe, "l0", "a", 1)
+                _deliver(sim.probe, "l0", "b", 1)
+                _deliver(sim.probe, "l1", "b", 1)
+                _deliver(sim.probe, "l1", "a", 1)
+
+    def test_oracle_watch_stops_watching_after_exit(self):
+        with oracle_watch() as attached:
+            Simulator(seed=3)
+        n = len(attached)
+        Simulator(seed=4)
+        assert len(attached) == n
+
+    def test_violation_carries_replay_context(self):
+        bus, _ = _watched_bus()
+        _decide(bus, "l0", ring=2, instance=0, item=("batch", "v1", ()), t=0.25)
+        with pytest.raises(OracleViolation) as exc:
+            _decide(bus, "l1", ring=2, instance=0, item=("batch", "v2", ()), t=0.5)
+        v = exc.value
+        assert v.time == 0.5
+        assert v.context["ring"] == 2
+        assert v.context["first"] == ("batch", "v1", ())
+        assert "[agreement] t=0.500000 at l1" in str(v)
