@@ -8,7 +8,7 @@ unless someone subscribes:
 * **bare** — no probe bus attached: every emission site is one attribute
   read plus an ``is not None`` test;
 * **bus, no subscriber** — a bus is attached but nothing subscribes:
-  every site additionally asks ``bus.wants(kind)`` (one dict lookup) and
+  every site additionally asks ``bus.wants(kind)`` (one set probe) and
   skips building the event payload entirely.
 
 Both must (a) leave the simulation bit-for-bit identical — probes are
@@ -21,14 +21,23 @@ box cannot flake it; the measured ratio is printed for the record and is
 A third run with the full :class:`SafetyOracles` set subscribed checks
 that even *active* oracles never perturb the simulation — they read
 events, schedule nothing.
+
+Timing goes through :func:`repro.bench.perf.time_call` (the wall-clock
+suite's best-of estimator) and the measured ratios are merged into the
+suite's ``BENCH_perf.json`` report via :func:`repro.bench.perf
+.merge_results`, so one artifact carries both the speed numbers and the
+observability-overhead numbers.
 """
 
-import time
+from pathlib import Path
 
+from repro.bench.perf import merge_results, time_call
 from repro.bench.runner import run_single_ring_point
 from repro.check import SafetyOracles
 from repro.obs.probe import ProbeBus
 from repro.sim.simulator import observe_simulators
+
+_REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
 
 
 def _fig1_point():
@@ -36,16 +45,10 @@ def _fig1_point():
     return (point.delivered_mbps, point.latency_ms, point.cpu_pct)
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
-
-
 def _watched(attach):
     remove = observe_simulators(attach)
     try:
-        return _timed(_fig1_point)
+        return time_call(_fig1_point, repeat=1)
     finally:
         remove()
 
@@ -53,13 +56,14 @@ def _watched(attach):
 def test_probe_bus_without_subscribers_is_free(benchmark):
     def run_all():
         # Warm-up evens out allocator/import effects before timing.
-        _fig1_point()
-        bare, bare_s = _timed(_fig1_point)
+        bare, bare_s = time_call(_fig1_point, repeat=1, warmup=1)
         idle, idle_s = _watched(lambda sim: sim.attach_probe(ProbeBus()))
-        oracle, _ = _watched(lambda sim: SafetyOracles().attach(sim))
-        return bare, bare_s, idle, idle_s, oracle
+        oracle, oracle_s = _watched(lambda sim: SafetyOracles().attach(sim))
+        return bare, bare_s, idle, idle_s, oracle, oracle_s
 
-    bare, bare_s, idle, idle_s, oracle = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    bare, bare_s, idle, idle_s, oracle, oracle_s = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
 
     # Passivity: neither an idle bus nor subscribed oracles may perturb
     # the simulation at all.
@@ -67,5 +71,23 @@ def test_probe_bus_without_subscribers_is_free(benchmark):
     assert oracle == bare
 
     ratio = idle_s / bare_s
+    oracle_ratio = oracle_s / bare_s
     print(f"fig1 runner: bare {bare_s:.2f}s, idle bus {idle_s:.2f}s, ratio {ratio:.3f}")
+    merge_results(
+        {
+            "probe_overhead_idle_bus": {
+                "value": ratio,
+                "unit": "x_vs_bare",
+                "higher_is_better": False,
+                "meta": {"bare_s": bare_s, "idle_s": idle_s},
+            },
+            "probe_overhead_oracles": {
+                "value": oracle_ratio,
+                "unit": "x_vs_bare",
+                "higher_is_better": False,
+                "meta": {"bare_s": bare_s, "oracle_s": oracle_s},
+            },
+        },
+        path=_REPORT_PATH,
+    )
     assert ratio <= 1.25, f"idle probe bus cost {100 * (ratio - 1):.1f}% on the fig1 runner"

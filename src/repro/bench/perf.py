@@ -1,0 +1,419 @@
+"""Wall-clock performance harness: measure the simulator, not the protocol.
+
+Every simulated result in this repository is wall-clock independent — but
+how many *simulated* events the kernel retires per *real* second decides
+how large a figure (rings x learners x seconds) and how many fuzz
+schedules per CI minute are affordable. This module gives that number a
+trajectory:
+
+* a small suite of wall-clock benchmarks (kernel events/sec microbench,
+  the Figure 1 runner, a scaled Figure 5 multi-ring runner, a bounded
+  fuzz round);
+* a JSON report, ``BENCH_perf.json`` at the repo root, carrying the
+  current numbers **and** the committed baseline they are compared
+  against, plus the speedup ratio per benchmark;
+* a regression check (``--check``) used by CI: fail only when a
+  benchmark regresses more than ``--max-regression`` against the
+  committed baseline (``benchmarks/perf/baseline.json``).
+
+Usage::
+
+    python -m repro bench                     # full suite -> BENCH_perf.json
+    python -m repro bench --quick             # CI-sized configuration
+    python -m repro bench --update-baseline   # re-record the baseline file
+    python -m repro bench --check             # exit 1 on >30% regression
+
+The timer (:func:`time_call`) is best-of-``repeat`` wall time around a
+callable; other benchmarks (e.g. ``benchmarks/test_check_overhead.py``)
+reuse it and merge their numbers into the same report via
+:func:`merge_results`, so every wall-clock measurement of the project
+lands in one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_OUTPUT_PATH",
+    "time_call",
+    "bench_kernel_events",
+    "bench_timer_churn",
+    "bench_fig1_runner",
+    "bench_multiring_runner",
+    "bench_fuzz_round",
+    "run_suite",
+    "compare_to_baseline",
+    "speedups",
+    "load_report",
+    "write_report",
+    "merge_results",
+    "bench_main",
+]
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE_PATH = "benchmarks/perf/baseline.json"
+DEFAULT_OUTPUT_PATH = "BENCH_perf.json"
+
+
+# ---------------------------------------------------------------------------
+# Timing primitive
+# ---------------------------------------------------------------------------
+def time_call(
+    fn: Callable[[], Any],
+    repeat: int = 3,
+    warmup: int = 0,
+) -> tuple[Any, float]:
+    """Run ``fn`` ``warmup + repeat`` times; return (last result, best seconds).
+
+    Best-of is the standard estimator for wall benchmarks: the minimum
+    over repeats converges on the true cost while means absorb scheduler
+    noise. The *last* result is returned so callers can assert on it.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def _entry(value: float, unit: str, higher_is_better: bool, **meta: Any) -> dict:
+    entry = {"value": value, "unit": unit, "higher_is_better": higher_is_better}
+    if meta:
+        entry["meta"] = meta
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+def bench_kernel_events(n_events: int = 300_000, chains: int = 64, repeat: int = 3) -> dict:
+    """Kernel microbench: events retired per real second, fast path.
+
+    ``chains`` self-rescheduling callbacks keep the heap at a realistic
+    depth while the loop runs nothing but the kernel: pop, advance the
+    clock, fire, push. Uses the allocation-free scheduling entry point
+    when the kernel provides one (``Simulator.post``), else ``schedule``
+    — so the same benchmark is comparable across kernel generations.
+    """
+    from ..sim.simulator import Simulator
+
+    per_chain = n_events // chains
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        post = getattr(sim, "post", None)
+        fired = 0
+
+        if post is not None:
+            def tick() -> None:
+                nonlocal fired
+                fired += 1
+                if fired < n_events:
+                    post(1e-6, tick)
+        else:
+            def tick() -> None:
+                nonlocal fired
+                fired += 1
+                if fired < n_events:
+                    sim.schedule(1e-6, tick)
+
+        for i in range(chains):
+            sim.schedule(i * 1e-9, tick)
+        sim.run()
+        return fired
+
+    fired, best = time_call(run, repeat=repeat, warmup=1)
+    return _entry(fired / best, "events/s", True,
+                  n_events=n_events, chains=chains, per_chain=per_chain)
+
+
+def bench_timer_churn(n_timers: int = 50_000, repeat: int = 3) -> dict:
+    """Cancellable-timer path: schedule + cancel churn, events per second.
+
+    Guards the ``Event``-returning slow path (retry/failure timers): each
+    round schedules a timer, cancels the previous one, and lets every
+    fourth fire — the protocol pattern where most timers never fire.
+    """
+    from ..sim.simulator import Simulator
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        fired = 0
+        pending: list = [None]
+
+        def tick() -> None:
+            nonlocal fired
+            fired += 1
+            if fired >= n_timers:
+                return
+            if pending[0] is not None and fired % 4:
+                sim.cancel(pending[0])
+            pending[0] = sim.schedule(1e-6, tick)
+            sim.schedule(5e-7, lambda: None)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return fired
+
+    fired, best = time_call(run, repeat=repeat, warmup=1)
+    return _entry(fired / best, "timers/s", True, n_timers=n_timers)
+
+
+def bench_fig1_runner(offered_mbps: float = 300.0, repeat: int = 2) -> dict:
+    """Wall seconds for one Figure 1 point (In-memory ring, open loop)."""
+    from .runner import run_single_ring_point
+
+    result, best = time_call(
+        lambda: run_single_ring_point(offered_mbps, durable=False),
+        repeat=repeat, warmup=1,
+    )
+    return _entry(best, "s", False,
+                  offered_mbps=offered_mbps,
+                  delivered_mbps=round(result.delivered_mbps, 3))
+
+
+def bench_multiring_runner(
+    n_rings: int = 4, duration: float = 0.5, warmup_s: float = 0.25, repeat: int = 2
+) -> dict:
+    """Wall seconds for a scaled Figure 5 point (n rings, closed loop)."""
+    from .runner import run_multiring_point
+
+    result, best = time_call(
+        lambda: run_multiring_point(
+            n_rings, durable=False, duration=duration, warmup=warmup_s
+        ),
+        repeat=repeat, warmup=1,
+    )
+    return _entry(best, "s", False,
+                  n_rings=n_rings, duration=duration,
+                  delivered_mbps=round(result.delivered_mbps, 3))
+
+
+def bench_fuzz_round(seeds: tuple[int, ...] = (1234, 1235, 1236, 1237, 1238),
+                     repeat: int = 2) -> dict:
+    """Wall seconds for a bounded fuzz round (fixed seeds, full oracles)."""
+    from ..check.driver import run_case
+
+    def run() -> int:
+        checked = 0
+        for seed in seeds:
+            result = run_case(seed)
+            if not result.ok:  # pragma: no cover - deterministic safe seeds
+                raise AssertionError(f"fuzz seed {seed} unexpectedly failed: {result.message}")
+            checked += result.events_checked
+        return checked
+
+    checked, best = time_call(run, repeat=repeat, warmup=1)
+    return _entry(best, "s", False, seeds=list(seeds), events_checked=checked)
+
+
+def run_suite(mode: str = "full", verbose: bool = True) -> dict[str, dict]:
+    """Run every benchmark at the given size; returns name -> entry."""
+    if mode == "full":
+        plan: list[tuple[str, Callable[[], dict]]] = [
+            ("kernel_events_per_sec", lambda: bench_kernel_events()),
+            ("timer_churn_per_sec", lambda: bench_timer_churn()),
+            ("fig1_runner_s", lambda: bench_fig1_runner()),
+            ("fig5_multiring_s", lambda: bench_multiring_runner()),
+            ("fuzz_round_s", lambda: bench_fuzz_round()),
+        ]
+    elif mode == "quick":
+        plan = [
+            ("kernel_events_per_sec", lambda: bench_kernel_events(n_events=100_000, repeat=2)),
+            ("timer_churn_per_sec", lambda: bench_timer_churn(n_timers=20_000, repeat=2)),
+            ("fig1_runner_s", lambda: bench_fig1_runner(offered_mbps=150.0, repeat=1)),
+            ("fig5_multiring_s",
+             lambda: bench_multiring_runner(n_rings=2, duration=0.4, warmup_s=0.2, repeat=1)),
+            ("fuzz_round_s", lambda: bench_fuzz_round(seeds=(1234, 1235), repeat=1)),
+        ]
+    else:
+        raise ValueError(f"unknown benchmark mode {mode!r} (expected 'full' or 'quick')")
+    results: dict[str, dict] = {}
+    for name, fn in plan:
+        entry = fn()
+        results[name] = entry
+        if verbose:
+            print(f"  {name:<28s} {entry['value']:>14,.2f} {entry['unit']}")
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Reports, baselines, regression math
+# ---------------------------------------------------------------------------
+def _host_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+def speedups(current: dict[str, dict], baseline: dict[str, dict]) -> dict[str, float]:
+    """Per-benchmark improvement ratio vs baseline (>1 means faster now)."""
+    out: dict[str, float] = {}
+    for name, entry in current.items():
+        base = baseline.get(name)
+        if not base or not base.get("value") or not entry.get("value"):
+            continue
+        if entry["higher_is_better"]:
+            out[name] = entry["value"] / base["value"]
+        else:
+            out[name] = base["value"] / entry["value"]
+    return out
+
+
+def compare_to_baseline(
+    current: dict[str, dict], baseline: dict[str, dict], max_regression: float
+) -> list[str]:
+    """Regression messages for benchmarks worse than ``max_regression``.
+
+    A regression of 0.30 means "30% slower than baseline" in either
+    metric direction; missing baselines are never regressions (new
+    benchmarks must be able to land before their first baseline).
+    """
+    failures = []
+    for name, ratio in speedups(current, baseline).items():
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: {(1.0 - ratio) * 100:.1f}% slower than baseline "
+                f"(allowed {max_regression * 100:.0f}%)"
+            )
+    return failures
+
+
+def load_report(path: str | Path) -> dict | None:
+    """Read a report/baseline JSON; None when absent."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def _baseline_benchmarks(baseline: dict | None, mode: str) -> dict[str, dict]:
+    if not baseline:
+        return {}
+    return baseline.get("modes", {}).get(mode, {}).get("benchmarks", {})
+
+
+def write_report(
+    path: str | Path,
+    mode: str,
+    benchmarks: dict[str, dict],
+    baseline: dict | None = None,
+) -> dict:
+    """Write ``BENCH_perf.json``: current numbers + baseline + speedups."""
+    base_benchmarks = _baseline_benchmarks(baseline, mode)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host_info(),
+        "benchmarks": benchmarks,
+        "baseline": {
+            "recorded_at": (baseline or {}).get("recorded_at"),
+            "host": (baseline or {}).get("host"),
+            "benchmarks": base_benchmarks,
+        },
+        "speedup": speedups(benchmarks, base_benchmarks),
+    }
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def update_baseline(path: str | Path, mode: str, benchmarks: dict[str, dict]) -> dict:
+    """Record ``benchmarks`` as the committed baseline for ``mode``."""
+    existing = load_report(path) or {"schema": SCHEMA_VERSION, "modes": {}}
+    existing["schema"] = SCHEMA_VERSION
+    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    existing["host"] = _host_info()
+    existing.setdefault("modes", {})[mode] = {"benchmarks": benchmarks}
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return existing
+
+
+def merge_results(results: dict[str, dict], path: str | Path = DEFAULT_OUTPUT_PATH) -> None:
+    """Merge extra benchmark entries into an existing report (or start one).
+
+    Lets satellite benchmarks (e.g. the probe-overhead test) land their
+    numbers in the same ``BENCH_perf.json`` the suite writes, without
+    re-running the suite.
+    """
+    report = load_report(path) or {
+        "schema": SCHEMA_VERSION,
+        "mode": "partial",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host_info(),
+        "benchmarks": {},
+        "baseline": {"benchmarks": {}},
+        "speedup": {},
+    }
+    report.setdefault("benchmarks", {}).update(results)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def bench_main(argv: list[str] | None = None) -> int:
+    """``python -m repro bench`` — run the suite, write the report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Wall-clock performance suite for the simulation kernel.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized configuration (smaller events/figures)")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT_PATH,
+                        help=f"report path (default {DEFAULT_OUTPUT_PATH})")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                        help=f"committed baseline path (default {DEFAULT_BASELINE_PATH})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record this run as the new committed baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any benchmark regresses past --max-regression")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed slowdown vs baseline (default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"perf suite ({mode}):")
+    benchmarks = run_suite(mode)
+
+    if args.update_baseline:
+        update_baseline(args.baseline, mode, benchmarks)
+        print(f"baseline ({mode}) updated: {args.baseline}")
+
+    baseline = load_report(args.baseline)
+    report = write_report(args.out, mode, benchmarks, baseline)
+    print(f"report written: {args.out}")
+    for name, ratio in sorted(report["speedup"].items()):
+        print(f"  {name:<28s} {ratio:>6.2f}x vs baseline")
+
+    if args.check:
+        failures = compare_to_baseline(
+            benchmarks, _baseline_benchmarks(baseline, mode), args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check passed (threshold {args.max_regression * 100:.0f}%)")
+    return 0

@@ -14,6 +14,11 @@ shape assertions); see ``repro.bench.figures``.
 ``python -m repro fuzz ...`` dispatches to the simulation fuzzer instead
 (randomized fault schedules under safety oracles — see ``repro.check``
 and docs/fuzzing.md); run ``python -m repro fuzz --help`` for its options.
+
+``python -m repro bench ...`` runs the wall-clock performance suite
+(kernel events/sec, figure runners, a bounded fuzz round) and writes
+``BENCH_perf.json`` — see ``repro.bench.perf`` and docs/simulation.md's
+Performance section; run ``python -m repro bench --help`` for options.
 """
 
 from __future__ import annotations
@@ -64,6 +69,11 @@ def main(argv: list[str] | None = None) -> int:
         from .check.driver import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Same pattern for the wall-clock perf suite (repro.bench.perf).
+        from .bench.perf import bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     names = list(args.experiments)
     if names == ["list"]:

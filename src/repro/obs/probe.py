@@ -92,6 +92,11 @@ class ProbeBus:
     def __init__(self) -> None:
         self._by_kind: dict[str, list[Subscriber]] = {}
         self._wildcard: list[Subscriber] = []
+        # Kinds with at least one subscriber, mirrored from _by_kind:
+        # wants() is called from the simulator's per-event hot path, and a
+        # single set probe is measurably cheaper than a dict lookup plus
+        # truthiness checks.
+        self._active: set[str] = set()
         self.events_emitted = 0
 
     def subscribe(self, fn: Subscriber, kind: str | None = None) -> Callable[[], None]:
@@ -108,11 +113,14 @@ class ProbeBus:
 
         else:
             self._by_kind.setdefault(kind, []).append(fn)
+            self._active.add(kind)
 
             def remove() -> None:
                 subs = self._by_kind.get(kind, [])
                 if fn in subs:
                     subs.remove(fn)
+                if not subs:
+                    self._active.discard(kind)
 
         return remove
 
@@ -129,7 +137,7 @@ class ProbeBus:
         the ``emit`` arguments, so an attached-but-unobserved kind stays
         as close to free as an absent bus.
         """
-        return bool(self._by_kind.get(kind)) or bool(self._wildcard)
+        return kind in self._active or bool(self._wildcard)
 
     def emit(self, kind: str, time: float, source: str, **data: Any) -> None:
         """Publish one event; no-op (after one lookup) with no subscriber."""

@@ -127,6 +127,7 @@ class RingCoordinator(Process):
         self._decided_log: dict[int, DataBatch | SkipRange] = {}
         self._decided_order: deque[int] = deque()
         self._decided_log_limit = 4 * config.window + 1024
+        self._ack_port = f"rp{config.ring_id}.submitack"
         self.batcher = Batcher(sim, config.batch_size, config.batch_timeout, self._on_batch)
         self._decision_timer = Timer(sim, config.decision_flush_timeout, self._flush_decisions)
         self._heartbeat_timer = Timer(sim, config.heartbeat_interval, self._heartbeat)
@@ -384,8 +385,7 @@ class RingCoordinator(Process):
             received_cum=self._submit_expected.get(src, 0) - 1,
             decided_cum=self._submit_acked.get(src, -1),
         )
-        ack_port = f"rp{self.config.ring_id}.submitack"
-        self.network.send(self.node.name, src, ack_port, ack, ack.size)
+        self.network.send(self.node.name, src, self._ack_port, ack, ack.size)
 
     def _ack_decided_batch(self, batch: DataBatch) -> None:
         """Advance the decided watermark for every sender in the batch."""

@@ -10,7 +10,8 @@ execution — Multi-Ring Paxos's skip mechanism, Section IV-B/IV-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import ClassVar
 
 from ..calibration import CONTROL_MESSAGE_SIZE
 
@@ -52,14 +53,18 @@ class ClientValue:
 
 @dataclass(frozen=True, slots=True)
 class DataBatch:
-    """A batch of client values decided in one consensus instance."""
+    """A batch of client values decided in one consensus instance.
+
+    ``size`` is computed once at construction: the batch is immutable and
+    its size is re-read on every hop of every message that carries it.
+    """
 
     value_id: int
     values: tuple[ClientValue, ...]
+    size: int = field(init=False, compare=False, repr=False)
 
-    @property
-    def size(self) -> int:
-        return sum(v.size for v in self.values)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size", sum(v.size for v in self.values))
 
     @property
     def instance_count(self) -> int:
@@ -79,9 +84,10 @@ class SkipRange:
 
     count: int
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    # Constant wire size: a class attribute, not a property — ``size`` is
+    # read on every hop of every message, and the descriptor call is
+    # measurable at that frequency.
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
     @property
     def instance_count(self) -> int:
@@ -120,9 +126,7 @@ class SubmitAck:
     received_cum: int
     decided_cum: int
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,9 +159,7 @@ class Phase2B:
     attempt: int
     accepts: int
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)
@@ -177,9 +179,7 @@ class Heartbeat:
 
     next_instance: int
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)
@@ -195,9 +195,7 @@ class RepairRequest:
     instance: int
     count: int = 1
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)
@@ -225,9 +223,7 @@ class PrepareRange:
     from_instance: int
     rnd: int
 
-    @property
-    def size(self) -> int:
-        return CONTROL_MESSAGE_SIZE
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)

@@ -39,6 +39,11 @@ class Disk:
         any wait for buffer space.
     """
 
+    __slots__ = (
+        "sim", "bandwidth", "buffer_bytes", "write_latency", "name",
+        "bytes_written", "writes", "_drain",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -85,7 +90,7 @@ class Disk:
         self.bytes_written += nbytes
         self.writes += 1
         if fn is not None:
-            self.sim.at(ack_time, fn, *args)
+            self.sim.post_at(ack_time, fn, *args)
         return ack_time
 
     @property

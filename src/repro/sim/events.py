@@ -6,37 +6,63 @@ tie-breaker so that two events scheduled for the same instant fire in the
 order they were scheduled — this is what makes simulations bit-for-bit
 deterministic for a given seed.
 
-Performance note: heap entries are plain ``(time, seq, event)`` tuples so
-that ordering comparisons run as C tuple comparisons — the heap is the
-hottest code in the whole simulator (profiled at >15% of a full protocol
-run before this layout).
+Performance notes (the heap is the hottest code in the whole simulator —
+profiled at >15% of a full protocol run):
+
+* Every heap entry is a plain ``(time, seq, fn, args, event)`` tuple, so
+  ordering comparisons run as C tuple comparisons and never reach the
+  third element (``seq`` is unique).
+* The last slot is ``None`` on the **fast path** (:meth:`EventQueue
+  .push_fast`): events that will never be cancelled — message arrivals,
+  queue completions, the ~95% case — pay one tuple and one ``heappush``,
+  no :class:`Event` object. Only cancellable timers go through
+  :meth:`EventQueue.push`, which allocates the ``Event`` handle that
+  :meth:`EventQueue.cancel` needs.
+* Consumers that need one heap inspection per event (the fused
+  ``Simulator.run`` loop) use :meth:`EventQueue.pop_entry` /
+  :meth:`EventQueue.peek_entry`; the ``peek_time()`` + ``pop()`` pair is
+  kept for single-stepping and tests but costs two top-of-heap scans.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from itertools import count
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(slots=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback that can still be cancelled.
 
     Use :meth:`cancel` to neutralise an event that is already queued —
     cancelled events are skipped (and dropped lazily) by
     :class:`EventQueue`. Events never participate in ordering themselves;
     the queue orders its ``(time, seq)`` keys.
+
+    A plain ``__slots__`` class rather than a dataclass: one is allocated
+    per cancellable timer (~10% of scheduled events in a protocol run),
+    and the hand-written ``__init__`` is measurably cheaper.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None]
-    args: tuple[Any, ...] = ()
-    cancelled: bool = False
-    consumed: bool = False  # set by EventQueue.pop(); guards late cancels
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "consumed")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+        consumed: bool = False,  # set by EventQueue.pop(); guards late cancels
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
+        self.consumed = consumed
 
     def cancel(self) -> None:
         """Mark this event so it will not fire when popped."""
@@ -46,63 +72,117 @@ class Event:
         """Invoke the callback (caller must check :attr:`cancelled`)."""
         self.fn(*self.args)
 
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag for flag, on in ((" cancelled", self.cancelled), (" consumed", self.consumed)) if on
+        )
+        return f"<Event t={self.time!r} seq={self.seq}{flags}>"
+
 
 class EventQueue:
-    """A min-heap of :class:`Event` with lazy cancellation.
+    """A min-heap of scheduled callbacks with lazy cancellation.
 
     Cancelled events stay in the heap until they surface at the top, at
     which point they are discarded. This keeps cancellation O(1) while
     pops remain O(log n) amortised.
     """
 
+    __slots__ = ("_heap", "_seq", "_cancelled")
+
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = 0
-        self._live = 0
+        # Entries are (time, seq, fn, args, event-or-None); see module doc.
+        # The live count is derived (len(heap) minus pending cancelled
+        # entries) so the pop hot path does zero counter bookkeeping.
+        # seq is an itertools.count: one C call per ticket instead of a
+        # load/add/store round-trip, shared with Simulator.post/post_at.
+        self._heap: list[tuple[float, int, Callable[..., None], tuple, Event | None]] = []
+        self._seq = count()
+        self._cancelled = 0  # cancelled entries still buried in the heap
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return len(self._heap) > self._cancelled
 
     def push(self, time: float, fn: Callable[..., None], args: tuple[Any, ...] = ()) -> Event:
-        """Insert a callback to fire at simulated ``time``; returns the event."""
-        event = Event(time=time, seq=self._seq, fn=fn, args=args)
-        heapq.heappush(self._heap, (time, self._seq, event))
-        self._seq += 1
-        self._live += 1
+        """Insert a cancellable callback firing at ``time``; returns its Event."""
+        seq = next(self._seq)
+        event = Event(time=time, seq=seq, fn=fn, args=args)
+        heapq.heappush(self._heap, (time, seq, fn, args, event))
         return event
+
+    def push_fast(self, time: float, fn: Callable[..., None], args: tuple[Any, ...] = ()) -> None:
+        """Fast path: insert a fire-and-forget callback (not cancellable).
+
+        No :class:`Event` is allocated; the entry is a bare heap tuple.
+        """
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
 
     def cancel(self, event: Event) -> None:
         """Cancel ``event`` if it has not fired yet (idempotent).
 
         Cancelling an event that was already popped (fired) is a no-op:
-        a popped event no longer counts towards ``len()``, so decrementing
+        a popped event no longer counts towards ``len()``, so counting it
         again would drive the live count negative.
         """
         if not event.cancelled and not event.consumed:
             event.cancel()
-            self._live -= 1
+            self._cancelled += 1
+
+    def peek_entry(self) -> tuple | None:
+        """The next live heap entry without removing it, or None if empty.
+
+        Drops cancelled entries from the top as a side effect, so callers
+        pairing this with :meth:`pop_entry` pay a single scan per event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[4]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return entry
+        return None
+
+    def pop_entry(self) -> tuple | None:
+        """Remove and return the next live heap entry, or None if empty.
+
+        The entry is ``(time, seq, fn, args, event-or-None)``; a non-None
+        event is marked consumed (late cancels become no-ops).
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[4]
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event.consumed = True
+            return entry
+        return None
 
     def peek_time(self) -> float | None:
         """Return the firing time of the next live event, or None if empty."""
-        self._drop_cancelled()
-        if self._heap:
-            return self._heap[0][0]
-        return None
+        entry = self.peek_entry()
+        return entry[0] if entry is not None else None
 
     def pop(self) -> Event | None:
-        """Remove and return the next live event, or None if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)[2]
-        event.consumed = True
-        self._live -= 1
-        return event
+        """Remove and return the next live event, or None if empty.
 
-    def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+        Compatibility shim over :meth:`pop_entry`: fast-path entries have
+        no :class:`Event`, so one is materialized (already consumed) for
+        the caller. Hot loops should use :meth:`pop_entry` directly.
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        event = entry[4]
+        if event is None:
+            event = Event(
+                time=entry[0], seq=entry[1], fn=entry[2], args=entry[3], consumed=True
+            )
+        return event

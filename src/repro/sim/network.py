@@ -53,6 +53,11 @@ def observe_networks(callback: Callable[["Network"], None]) -> Callable[[], None
 class Nic:
     """Full-duplex network interface: an egress and an ingress queue."""
 
+    __slots__ = (
+        "name", "bandwidth", "egress", "ingress",
+        "bytes_sent", "bytes_received", "messages_sent", "messages_received",
+    )
+
     def __init__(self, sim: Simulator, name: str, bandwidth: float) -> None:
         self.name = name
         self.bandwidth = bandwidth
@@ -87,6 +92,9 @@ class Network:
         independently per receiver leg.
     """
 
+    # No __slots__: trace_network replaces send/multicast per instance,
+    # and there is only one Network per simulation anyway.
+
     def __init__(
         self,
         sim: Simulator,
@@ -101,12 +109,28 @@ class Network:
         self._rng = sim.random.get("network.loss")
         self.nodes: dict[str, Node] = {}
         self.nics: dict[str, Nic] = {}
+        # Per-destination (node, nic, node.deliver) triples: one dict lookup
+        # on the delivery hot path instead of two plus a bound-method
+        # allocation. Maintained by add_node.
+        self._endpoints: dict[str, tuple[Node, Nic, Callable[..., None]]] = {}
         self._groups: dict[str, list[str]] = {}
         self.messages_dropped = 0
         self.probe = None  # ProbeBus | None
         if _network_observers:
             for callback in list(_network_observers):
                 callback(self)
+
+    @property
+    def loss(self) -> LossModel:
+        """The loss model applied per receiver leg (assignable mid-run)."""
+        return self._loss
+
+    @loss.setter
+    def loss(self, model: LossModel) -> None:
+        self._loss = model
+        # NoLoss never consumes the RNG, so the hot paths may skip the
+        # should_drop call entirely without changing any random draw.
+        self._lossless = type(model) is NoLoss
 
     # ------------------------------------------------------------------
     # Observability
@@ -138,9 +162,11 @@ class Network:
         if node.name in self.nodes:
             raise NetworkError(f"node {node.name!r} already attached")
         self.nodes[node.name] = node
-        self.nics[node.name] = Nic(
+        nic = Nic(
             self.sim, node.name, bandwidth if bandwidth is not None else self.default_bandwidth
         )
+        self.nics[node.name] = nic
+        self._endpoints[node.name] = (node, nic, node.deliver)
         if self.probe is not None:
             self._instrument(node.name)
         return node
@@ -185,13 +211,18 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, port: str, msg: Any, size: int) -> None:
         """Unicast ``msg`` (``size`` bytes) from ``src`` to ``dst``."""
-        self._require_known(src)
-        self._require_known(dst)
-        if not self.nodes[src].up:
+        endpoints = self._endpoints
+        endpoint = endpoints.get(src)
+        if endpoint is None:
+            raise NetworkError(f"unknown node {src!r}")
+        if dst not in endpoints:
+            raise NetworkError(f"unknown node {dst!r}")
+        node, nic, _ = endpoint
+        if not node.up:
             return  # a crashed machine transmits nothing
-        depart = self.nics[src].egress.submit(float(size))
-        self.nics[src].bytes_sent += size
-        self.nics[src].messages_sent += 1
+        depart = nic.egress.submit(float(size))
+        nic.bytes_sent += size
+        nic.messages_sent += 1
         if self.probe is not None and self.probe.wants("net.enqueue"):
             self.probe.emit(
                 "net.enqueue", self.sim.now, src,
@@ -205,6 +236,16 @@ class Network:
         The sender serializes the frame once; the switch fans it out to
         each subscriber (including the sender itself if subscribed, with
         loopback skipping the physical ingress queue).
+
+        The remote fan-out is *coalesced*: all surviving subscribers share
+        one scheduled arrival event (:meth:`_fan_in`) that performs every
+        ingress submission in membership order — one heap operation for
+        the propagation leg instead of one per subscriber. Loss is still
+        decided per receiver leg at send time, in membership order, so the
+        random draw sequence is identical to per-subscriber scheduling;
+        and because per-subscriber arrival events would carry consecutive
+        sequence numbers at one instant, delivering them from a single
+        event preserves the exact global event order.
         """
         self._require_known(src)
         if not self.nodes[src].up:
@@ -212,27 +253,52 @@ class Network:
         members = self._groups.get(group, [])
         if not members:
             return
-        depart = self.nics[src].egress.submit(float(size))
-        self.nics[src].bytes_sent += size
-        self.nics[src].messages_sent += 1
-        if self.probe is not None and self.probe.wants("net.enqueue"):
-            self.probe.emit(
-                "net.enqueue", self.sim.now, src,
+        sim = self.sim
+        nic = self.nics[src]
+        depart = nic.egress.submit(float(size))
+        nic.bytes_sent += size
+        nic.messages_sent += 1
+        probe = self.probe
+        if probe is not None and probe.wants("net.enqueue"):
+            probe.emit(
+                "net.enqueue", sim.now, src,
                 group=group, fanout=len(members), port=port,
                 msg=type(msg).__name__, size=size,
             )
-        for dst in members:
-            if dst == src:
-                # Kernel loopback: no switch hop, no ingress serialization.
-                self.sim.at(depart, self._deliver, dst, port, src, msg, 0)
-            else:
-                self._propagate(depart, src, dst, port, msg, size)
+        targets: list[str] = []
+        if self._lossless:
+            for dst in members:
+                if dst == src:
+                    # Kernel loopback: no switch hop, no ingress queue.
+                    sim.post_at(depart, self._deliver, dst, port, src, msg, 0)
+                else:
+                    targets.append(dst)
+        else:
+            rng = self._rng
+            should_drop = self._loss.should_drop
+            for dst in members:
+                if dst == src:
+                    sim.post_at(depart, self._deliver, dst, port, src, msg, 0)
+                elif should_drop(rng, src, dst, size):
+                    self.messages_dropped += 1
+                    if probe is not None and probe.wants("net.drop"):
+                        probe.emit(
+                            "net.drop", sim.now, src,
+                            dst=dst, port=port, msg=type(msg).__name__, size=size,
+                        )
+                else:
+                    targets.append(dst)
+        if targets:
+            sim.post_at(
+                depart + self.propagation_delay,
+                self._fan_in, targets, port, src, msg, size,
+            )
 
     # ------------------------------------------------------------------
     # Internal plumbing
     # ------------------------------------------------------------------
     def _propagate(self, depart: float, src: str, dst: str, port: str, msg: Any, size: int) -> None:
-        if self.loss.should_drop(self._rng, src, dst, size):
+        if not self._lossless and self._loss.should_drop(self._rng, src, dst, size):
             self.messages_dropped += 1
             if self.probe is not None and self.probe.wants("net.drop"):
                 self.probe.emit(
@@ -241,26 +307,36 @@ class Network:
                 )
             return
         arrival = depart + self.propagation_delay
-        self.sim.at(arrival, self._deliver, dst, port, src, msg, size)
+        self.sim.post_at(arrival, self._deliver, dst, port, src, msg, size)
+
+    def _fan_in(self, targets: list[str], port: str, src: str, msg: Any, size: int) -> None:
+        # The coalesced multicast arrival: one event, every subscriber's
+        # ingress submission, in membership order (see multicast()).
+        deliver = self._deliver
+        for dst in targets:
+            deliver(dst, port, src, msg, size)
 
     def _deliver(self, dst: str, port: str, src: str, msg: Any, size: int) -> None:
-        node = self.nodes.get(dst)
-        if node is None or not node.up:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
             return
-        if self.probe is not None and self.probe.wants("net.deliver"):
-            self.probe.emit(
+        node, nic, dispatch = endpoint
+        if not node.up:
+            return
+        probe = self.probe
+        if probe is not None and probe.wants("net.deliver"):
+            probe.emit(
                 "net.deliver", self.sim.now, dst,
                 src=src, port=port, msg=type(msg).__name__, size=size,
             )
-        nic = self.nics[dst]
         if size > 0:
             done = nic.ingress.submit(float(size))
             nic.bytes_received += size
             nic.messages_received += 1
-            self.sim.at(done, node.deliver, port, src, msg)
+            self.sim.post_at(done, dispatch, port, src, msg)
         else:
             nic.messages_received += 1
-            node.deliver(port, src, msg)
+            dispatch(port, src, msg)
 
     def _require_known(self, name: str) -> None:
         if name not in self.nodes:

@@ -33,6 +33,8 @@ class Node:
         bandwidth (bytes/second); otherwise ``node.disk`` is None.
     """
 
+    __slots__ = ("sim", "name", "cpu", "disk", "up", "_handlers", "_dispatch")
+
     def __init__(
         self,
         sim: Simulator,
@@ -54,6 +56,10 @@ class Node:
             )
         self.up = True
         self._handlers: dict[str, Handler] = {}
+        # Cached bound dict.get: port dispatch runs once per delivered
+        # message, and register/unregister mutate the dict in place so the
+        # cached lookup never goes stale.
+        self._dispatch = self._handlers.get
 
     # ------------------------------------------------------------------
     # Ports
@@ -70,7 +76,7 @@ class Node:
         """Dispatch an arriving message; silently dropped if down/unbound."""
         if not self.up:
             return
-        handler = self._handlers.get(port)
+        handler = self._dispatch(port)
         if handler is not None:
             handler(src, msg)
 

@@ -11,12 +11,18 @@ scripted.
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_left, bisect_right
 from typing import Any, Callable
 
 from .simulator import Simulator
 
 __all__ = ["FifoServer"]
+
+# Trim the interval history in batches once it grows past this many
+# entries: one O(k) list deletion every few hundred submissions instead
+# of a per-submission check (amortized O(1) either way, but off the
+# common path).
+_TRIM_THRESHOLD = 512
 
 
 class FifoServer:
@@ -32,6 +38,12 @@ class FifoServer:
     can ask "how busy were you between a and b?" — which is how coordinator
     CPU percentages in the figures are measured.
     """
+
+    __slots__ = (
+        "sim", "rate", "name", "history_window", "busy_until",
+        "total_busy_time", "jobs_served", "demand_served", "probe",
+        "_starts", "_ends", "_trim_at",
+    )
 
     def __init__(
         self,
@@ -51,7 +63,13 @@ class FifoServer:
         self.jobs_served = 0
         self.demand_served = 0.0
         self.probe = None  # ProbeBus | None; set by the observability layer
-        self._intervals: deque[tuple[float, float]] = deque()
+        # Disjoint busy intervals, sorted, stored as parallel flat lists
+        # (starts / ends): the submission hot path then appends or mutates
+        # one float instead of allocating a tuple, and busy_between can
+        # bisect the start list directly. Both lists are non-decreasing.
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._trim_at = _TRIM_THRESHOLD  # next history length to trim at
 
     # ------------------------------------------------------------------
     # Submission
@@ -65,21 +83,36 @@ class FifoServer:
         """
         if demand < 0:
             raise ValueError("demand must be non-negative")
-        start = max(self.sim.now, self.busy_until)
+        now = self.sim.now
+        busy_until = self.busy_until
+        start = busy_until if busy_until > now else now
         service_time = demand / self.rate
         finish = start + service_time
         self.busy_until = finish
         self.total_busy_time += service_time
         self.jobs_served += 1
         self.demand_served += demand
-        self._record_interval(start, finish)
-        if self.probe is not None and self.probe.wants("server.busy"):
-            self.probe.emit(
-                "server.busy", self.sim.now, self.name,
+        # Interval recording, inlined (this is the per-message hot path of
+        # every NIC/CPU/disk): merge with the previous interval when the
+        # server never went idle, trim old history only in batches.
+        ends = self._ends
+        if ends and ends[-1] >= start:
+            ends[-1] = finish
+        else:
+            self._starts.append(start)
+            ends.append(finish)
+            if len(ends) > self._trim_at:
+                self._trim(now)
+        probe = self.probe
+        if probe is not None and probe.wants("server.busy"):
+            probe.emit(
+                "server.busy", now, self.name,
                 start=start, finish=finish, demand=demand,
             )
         if fn is not None:
-            self.sim.at(finish, fn, *args)
+            # Completions are fire-and-forget: the allocation-free
+            # scheduling path, no Event handle.
+            self.sim.post_at(finish, fn, *args)
         return finish
 
     # ------------------------------------------------------------------
@@ -99,13 +132,24 @@ class FifoServer:
         """
         if end <= start:
             return 0.0
+        starts = self._starts
+        ends = self._ends
+        # Intervals are disjoint and sorted, so bisect to the first one
+        # that can overlap the window instead of scanning the whole
+        # history: the one before the first interval opening after start.
+        i = bisect_right(starts, start) - 1
+        if i < 0:
+            i = 0
         busy = 0.0
-        for lo, hi in self._intervals:
-            if hi <= start:
-                continue
+        n = len(starts)
+        while i < n:
+            lo = starts[i]
             if lo >= end:
                 break
-            busy += min(hi, end) - max(lo, start)
+            hi = ends[i]
+            if hi > start:
+                busy += min(hi, end) - max(lo, start)
+            i += 1
         return busy
 
     def utilization(self, window: float = 1.0) -> float:
@@ -121,14 +165,24 @@ class FifoServer:
     # ------------------------------------------------------------------
     # Internal
     # ------------------------------------------------------------------
-    def _record_interval(self, start: float, finish: float) -> None:
-        # Merge with the previous interval when the server never went idle;
-        # this keeps the history short under sustained load.
-        if self._intervals and self._intervals[-1][1] >= start:
-            prev_lo, _ = self._intervals[-1]
-            self._intervals[-1] = (prev_lo, finish)
-        else:
-            self._intervals.append((start, finish))
-        horizon = self.sim.now - self.history_window
-        while len(self._intervals) > 1 and self._intervals[0][1] < horizon:
-            self._intervals.popleft()
+    @property
+    def _intervals(self) -> list[tuple[float, float]]:
+        # Introspection/test view of the flat start/end lists.
+        return list(zip(self._starts, self._ends))
+
+    def _trim(self, now: float) -> None:
+        # Drop intervals that ended before the history horizon in one list
+        # deletion, always keeping at least the most recent interval.
+        # Interval ends are non-decreasing, so bisect on them directly.
+        ends = self._ends
+        horizon = now - self.history_window
+        cut = bisect_left(ends, horizon)
+        if cut >= len(ends):
+            cut = len(ends) - 1
+        if cut > 0:
+            del self._starts[:cut]
+            del ends[:cut]
+        # When everything is still inside the window (short simulations
+        # never age out of a 30 s history), back off instead of re-running
+        # a futile trim on every append.
+        self._trim_at = max(_TRIM_THRESHOLD, 2 * len(ends))

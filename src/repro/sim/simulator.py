@@ -10,6 +10,8 @@ reproducible and hardware-independent (see DESIGN.md, substitution rule).
 
 from __future__ import annotations
 
+import sys
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
@@ -57,10 +59,23 @@ class Simulator:
     (2.0, ['hello'])
     """
 
+    # Fixed layout: `self.now` / `self._heap` / `self._probe` are read on
+    # every simulated event, and slot access is measurably cheaper than a
+    # dict lookup at that frequency.
+    __slots__ = (
+        "now", "random", "_queue", "_heap", "_seq",
+        "_events_executed", "_running", "_probe",
+    )
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.random = RandomStreams(seed)
         self._queue = EventQueue()
+        # Aliases of the queue's heap list and seq counter: EventQueue
+        # never rebinds either, so post/post_at can skip a pointer hop on
+        # the hottest scheduling path.
+        self._heap = self._queue._heap
+        self._seq = self._queue._seq
         self._events_executed = 0
         self._running = False
         self._probe = None  # ProbeBus | None; None keeps the hot path bare
@@ -88,7 +103,12 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
+        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now.
+
+        Returns the cancellable :class:`Event` handle. Use this (or
+        :meth:`at`) for timers that may be cancelled; use :meth:`post` /
+        :meth:`post_at` for fire-and-forget callbacks on hot paths.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
         return self._queue.push(self.now + delay, fn, args)
@@ -101,6 +121,29 @@ class Simulator:
             )
         return self._queue.push(time, fn, args)
 
+    def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fast path: run ``fn(*args)`` after ``delay``; not cancellable.
+
+        Identical ordering semantics to :meth:`schedule` (same time/seq
+        keys), but no :class:`Event` is allocated and nothing is returned.
+        The simulated substrate's hot paths (message legs, queue
+        completions) all schedule through here; roughly 95% of events in a
+        protocol run are never cancelled and never need the handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        # push_fast inlined (same package): one call frame less on the
+        # single hottest function in a protocol run.
+        _heappush(self._heap, (self.now + delay, next(self._seq), fn, args, None))
+
+    def post_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fast path: run ``fn(*args)`` at absolute ``time``; not cancellable."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock is already at t={self.now!r}"
+            )
+        _heappush(self._heap, (time, next(self._seq), fn, args, None))
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
         self._queue.cancel(event)
@@ -110,22 +153,23 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next event. Returns False when the queue is empty."""
-        event = self._queue.pop()
-        if event is None:
+        entry = self._queue.pop_entry()
+        if entry is None:
             return False
-        if event.time < self.now:
+        time = entry[0]
+        if time < self.now:
             raise SimulationError("event queue produced an event in the past")
-        self.now = event.time
+        self.now = time
         self._events_executed += 1
         if self._probe is not None and self._probe.wants("sim.event"):
-            fn = event.fn
+            fn = entry[2]
             self._probe.emit(
                 "sim.event",
-                self.now,
+                time,
                 getattr(fn, "__qualname__", None) or repr(fn),
-                seq=event.seq,
+                seq=entry[1],
             )
-        event.fire()
+        entry[2](*entry[3])
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -134,27 +178,123 @@ class Simulator:
         When ``until`` is given the clock is advanced exactly to ``until``
         on return (even if the last event fired earlier), so back-to-back
         ``run(until=...)`` calls partition simulated time cleanly.
+
+        This is the simulator's hottest loop, so it is fused: one heap
+        inspection per event (peek the top, then pop it) instead of the
+        ``peek_time()`` + ``step()``/``pop()`` pair, with the heap and the
+        cancellation filter inlined. Semantics are identical to calling
+        :meth:`step` in a loop.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        executed = 0
         try:
-            executed = 0
+            # Inlined from EventQueue (same package): entries are
+            # (time, seq, fn, args, event-or-None), cancelled entries are
+            # dropped lazily at the top — see events.py.
+            queue = self._queue
+            heap = queue._heap
+            heappop = _heappop
+            # Hoist the optional budget out of the loop: an absent budget
+            # becomes maxsize, so the body carries one plain comparison.
+            # No past-time check in either loop: every insert path
+            # (schedule/at/post/post_at) already rejects times behind the
+            # clock, and the heap only hands times out in order.
+            budget = max_events if max_events is not None else sys.maxsize
             exhausted = True
-            while True:
-                if max_events is not None and executed >= max_events:
-                    exhausted = False  # stopped by budget: events remain
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
+            if until is None and max_events is None:
+                # Run-to-empty variant (the overwhelmingly common call):
+                # nothing ever needs to stay on the heap, so pop first and
+                # skip the peek, and there is no budget to compare against.
+                while heap:
+                    time, seq, fn, args, event = heappop(heap)
+                    if event is not None:
+                        if event.cancelled:
+                            queue._cancelled -= 1
+                            continue
+                        event.consumed = True
+                    self.now = time
+                    executed += 1
+                    # Re-read the probe every iteration: callbacks may
+                    # attach or detach a bus mid-run. One test when absent.
+                    probe = self._probe
+                    if probe is not None and probe.wants("sim.event"):
+                        probe.emit(
+                            "sim.event",
+                            time,
+                            getattr(fn, "__qualname__", None) or repr(fn),
+                            seq=seq,
+                        )
+                    # Empty-args callbacks (completion ticks, timer pokes)
+                    # take the plain CALL path instead of CALL_FUNCTION_EX.
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+            elif until is None:
+                # Unbounded-time variant with an event budget.
+                while heap:
+                    if executed >= budget:
+                        exhausted = False  # stopped by budget: events remain
+                        break
+                    time, seq, fn, args, event = heappop(heap)
+                    if event is not None:
+                        if event.cancelled:
+                            queue._cancelled -= 1
+                            continue
+                        event.consumed = True
+                    self.now = time
+                    executed += 1
+                    probe = self._probe
+                    if probe is not None and probe.wants("sim.event"):
+                        probe.emit(
+                            "sim.event",
+                            time,
+                            getattr(fn, "__qualname__", None) or repr(fn),
+                            seq=seq,
+                        )
+                    # Empty-args callbacks (completion ticks, timer pokes)
+                    # take the plain CALL path instead of CALL_FUNCTION_EX.
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+            else:
+                while heap:
+                    if executed >= budget:
+                        exhausted = False
+                        break
+                    time, seq, fn, args, event = heap[0]
+                    if event is not None and event.cancelled:
+                        heappop(heap)
+                        queue._cancelled -= 1
+                        continue
+                    if time > until:
+                        break
+                    heappop(heap)
+                    if event is not None:
+                        event.consumed = True
+                    self.now = time
+                    executed += 1
+                    probe = self._probe
+                    if probe is not None and probe.wants("sim.event"):
+                        probe.emit(
+                            "sim.event",
+                            time,
+                            getattr(fn, "__qualname__", None) or repr(fn),
+                            seq=seq,
+                        )
+                    # Empty-args callbacks (completion ticks, timer pokes)
+                    # take the plain CALL path instead of CALL_FUNCTION_EX.
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
             if exhausted and until is not None and until > self.now:
                 self.now = until
         finally:
+            self._events_executed += executed
             self._running = False
 
     @property

@@ -60,7 +60,11 @@ class OpenLoopGenerator(Process):
     def start(self, delay: float = 0.0) -> "OpenLoopGenerator":
         """Begin generating ``delay`` seconds from now; returns self."""
         self._running = True
-        self.call_later(delay, self._tick)
+        # Ticks self-check ``_running``/``crashed``, so they ride the
+        # allocation-free scheduling fast path instead of call_later's
+        # cancellable (Event + crash-guard wrapper) one. One tick per
+        # generated value makes this one of the hottest schedule sites.
+        self.sim.post(delay, self._tick)
         return self
 
     def stop(self) -> None:
@@ -76,7 +80,7 @@ class OpenLoopGenerator(Process):
             return
         rate = self.schedule.rate_at(now)
         if rate <= 0:
-            self.call_later(self.idle_poll, self._tick)
+            self.sim.post(self.idle_poll, self._tick)
             return
         # ``burst`` > 1 models clients that submit in clumps (the offered
         # rate is unchanged; the gap scales with the burst size). Bursty
@@ -91,7 +95,7 @@ class OpenLoopGenerator(Process):
             # independent generators drifts apart like a random walk —
             # the out-of-sync effect of the paper's Figure 9 at lambda=0.
             gap *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
-        self.call_later(gap, self._tick)
+        self.sim.post(gap, self._tick)
 
 
 class ClosedLoopGenerator(Process):

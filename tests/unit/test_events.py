@@ -127,3 +127,69 @@ def test_simulator_cancel_after_fire_keeps_pending_count_sane():
     sim.run(until=5.0)
     assert fired == ["a", "b"]
     assert sim.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# Single-scan queue primitives (stubbed heap operations)
+# ---------------------------------------------------------------------------
+class _HeapStub:
+    """Counts heap operations while delegating to the real heapq."""
+
+    def __init__(self):
+        import heapq
+
+        self._real = heapq
+        self.pushes = 0
+        self.pops = 0
+
+    def heappush(self, heap, item):
+        self.pushes += 1
+        self._real.heappush(heap, item)
+
+    def heappop(self, heap):
+        self.pops += 1
+        return self._real.heappop(heap)
+
+
+def test_peek_then_pop_is_a_single_scan(monkeypatch):
+    import repro.sim.events as ev
+
+    stub = _HeapStub()
+    monkeypatch.setattr(ev, "heapq", stub)
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    entry = q.peek_entry()  # pure read: no heap op
+    assert entry[0] == 1.0
+    assert stub.pops == 0
+    assert q.pop_entry() == entry  # one pop removes what peek returned
+    assert stub.pops == 1
+
+
+def test_cancelled_head_is_dropped_once_not_per_inspection(monkeypatch):
+    import repro.sim.events as ev
+
+    stub = _HeapStub()
+    monkeypatch.setattr(ev, "heapq", stub)
+    q = EventQueue()
+    doomed = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(doomed)
+    # peek drops the cancelled head (one pop) and returns the live entry;
+    # the queue never re-walks it on the following peeks or the pop.
+    entry = q.peek_entry()
+    assert entry[0] == 2.0
+    assert stub.pops == 1
+    assert q.peek_entry() is entry
+    assert stub.pops == 1
+    q.pop_entry()
+    assert stub.pops == 2
+    assert len(q) == 0
+
+
+def test_push_fast_allocates_no_event():
+    q = EventQueue()
+    q.push_fast(1.0, lambda: None)
+    assert q._heap[0][4] is None  # no Event handle on the fast path
+    entry = q.pop_entry()
+    assert entry[4] is None

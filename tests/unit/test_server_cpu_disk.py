@@ -189,3 +189,53 @@ def test_disk_counters_and_validation():
     assert disk.writes == 2
     with pytest.raises(ValueError):
         Disk(sim, bandwidth=0.0)
+
+
+class _CountingList(list):
+    """List that counts item reads, to bound busy_between's scan."""
+
+    def __init__(self, items=()):
+        super().__init__(items)
+        self.reads = 0
+
+    def __getitem__(self, index):
+        self.reads += 1
+        return super().__getitem__(index)
+
+
+def test_busy_between_is_exact_and_bounded_on_long_history():
+    sim = Simulator()
+    # A huge history window so nothing is ever trimmed: 10,000 disjoint
+    # busy intervals [2k, 2k + 0.5].
+    srv = FifoServer(sim, rate=1.0, history_window=1e9)
+    for k in range(10_000):
+        sim.run(until=2.0 * k)
+        srv.submit(0.5)
+    assert len(srv._starts) == 10_000
+    # Swap in read-counting lists, then query a 3-second window deep in
+    # the history: the answer must be exact and the scan must bisect to
+    # the window instead of walking all 10,000 entries.
+    starts = _CountingList(srv._starts)
+    ends = _CountingList(srv._ends)
+    srv._starts = starts
+    srv._ends = ends
+    assert srv.busy_between(12_000.0, 12_003.0) == pytest.approx(1.0)
+    assert starts.reads + ends.reads < 64
+
+
+def test_busy_between_bisect_agrees_with_linear_reference():
+    sim = Simulator()
+    srv = FifoServer(sim, rate=1.0, history_window=1e9)
+    for k in range(50):
+        sim.run(until=3.0 * k)
+        srv.submit(1.5)
+    intervals = srv._intervals
+
+    def reference(start, end):
+        return sum(
+            max(0.0, min(hi, end) - max(lo, start)) for lo, hi in intervals
+        )
+
+    for start, end in [(0.0, 200.0), (10.2, 11.0), (74.9, 81.3), (149.0, 150.5),
+                       (-5.0, 1.0), (147.5, 400.0), (33.0, 33.0)]:
+        assert srv.busy_between(start, end) == pytest.approx(reference(start, end))

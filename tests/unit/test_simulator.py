@@ -119,3 +119,67 @@ def test_different_streams_are_independent():
     sim2.random.get("b").random()
     second = sim2.random.get("a").random()
     assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Fused run loop: one heap inspection per event
+# ---------------------------------------------------------------------------
+def _counting_heappop(counter):
+    import repro.sim.simulator as sim_mod
+
+    real = sim_mod._heappop
+
+    def counting(heap):
+        counter.append(len(heap))
+        return real(heap)
+
+    return counting
+
+
+def test_run_does_one_heap_pop_per_event(monkeypatch):
+    import repro.sim.simulator as sim_mod
+
+    pops = []
+    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+    sim = Simulator()
+    fired = []
+    for i in range(100):
+        sim.post(i * 1e-3, fired.append, i)
+    sim.run()
+    assert fired == list(range(100))
+    # The fused loop pays exactly one heap pop per executed event — no
+    # separate peek walk (the pre-fusion loop paid two scans per event).
+    assert len(pops) == 100
+
+
+def test_run_until_does_one_heap_pop_per_event(monkeypatch):
+    import repro.sim.simulator as sim_mod
+
+    pops = []
+    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+    sim = Simulator()
+    fired = []
+    for i in range(50):
+        sim.post(0.1 + i * 1e-3, fired.append, i)
+    sim.post(10.0, fired.append, "late")
+    sim.run(until=1.0)
+    assert fired == list(range(50))
+    # 50 executed events = 50 pops; the event beyond ``until`` stays on
+    # the heap after a peek that costs zero pops.
+    assert len(pops) == 50
+
+
+def test_cancelled_event_costs_one_pop(monkeypatch):
+    import repro.sim.simulator as sim_mod
+
+    pops = []
+    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(0.5, fired.append, "cancelled")
+    sim.post(1.0, fired.append, "kept")
+    sim.cancel(doomed)
+    sim.run()
+    assert fired == ["kept"]
+    # One pop discards the cancelled entry, one pop executes the live one.
+    assert len(pops) == 2
