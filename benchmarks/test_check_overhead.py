@@ -26,7 +26,10 @@ Timing goes through :func:`repro.bench.perf.time_call` (the wall-clock
 suite's best-of estimator) and the measured ratios are merged into the
 suite's ``BENCH_perf.json`` report via :func:`repro.bench.perf
 .merge_results`, so one artifact carries both the speed numbers and the
-observability-overhead numbers.
+observability-overhead numbers. ``merge_results`` publishes the merged
+report atomically (temp file + ``os.replace``), so this test can run
+concurrently with ``python -m repro bench`` — or with a parallel CI leg
+— without either writer truncating the other's report.
 """
 
 from pathlib import Path

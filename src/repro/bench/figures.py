@@ -1,27 +1,28 @@
-"""One callable per paper figure: runs the experiment, returns the rows.
+"""One callable per paper figure: builds the sweep, returns the rows.
 
 The pytest benchmarks under ``benchmarks/`` call these and assert the
 paper's qualitative claims; the CLI (``python -m repro``) calls them
 directly. Each returns ``(rows, table_text)`` and the caller decides what
 to do with them (print, persist, assert).
+
+Sweep construction is declarative: every figure builds a list of
+:class:`~repro.parallel.spec.Spec` task specs (picklable, hashable
+descriptions of runner calls) and hands them to
+:func:`~repro.parallel.pool.run_sweep`, which executes them under the
+process-wide executor configuration — serial and in-process by default
+(so direct calls behave exactly like the old loops), fanned out across
+worker processes and memoized on disk when the CLI passes ``--jobs`` /
+enables the cache. Results always come back in spec order, so the tables
+are byte-identical regardless of job count.
 """
 
 from __future__ import annotations
 
+from ..parallel import Spec, run_sweep
 from ..workload.rates import ModulatedRate, ScaledRate, StepRate
 from .plots import ascii_multi_series
 from .report import format_table, series_to_rows
-from .runner import (
-    run_coordinator_failure_timeseries,
-    run_lcr_point,
-    run_mencius_point,
-    run_multiring_point,
-    run_partitioned_single_ring_point,
-    run_single_ring_point,
-    run_spread_point,
-    run_two_ring_parameter_point,
-    run_two_ring_timeseries,
-)
+from .runner import run_two_ring_timeseries
 
 __all__ = ["FIGURES", "run_figure"]
 
@@ -41,22 +42,70 @@ def _stepped(levels: list[float]) -> StepRate:
     return StepRate([(i * STEP_SECONDS, _msgs(v)) for i, v in enumerate(levels)])
 
 
+def _point(runner: str, **kwargs) -> Spec:
+    """A spec for one ``repro.bench.runner`` call (JSON-primitive kwargs)."""
+    return Spec(fn=f"repro.bench.runner:{runner}", kwargs=kwargs, label=f"{runner}:{kwargs}")
+
+
+def _lambda_case(
+    levels: list[float],
+    lam: float,
+    scale2: float = 1.0,
+    modulate: bool = False,
+    buffer_limit: int = 200_000,
+):
+    """One λ-experiment time series, built from primitives.
+
+    Module-level (and primitive-argument) so it is addressable as a spec:
+    rate-schedule *objects* never cross the spec boundary — their shape
+    parameters do, which keeps specs picklable and content-hashable.
+    """
+    fast = _stepped(levels)
+    slow = _stepped(levels)
+    if scale2 != 1.0:
+        slow = ScaledRate(slow, scale2)
+    if modulate:
+        fast = ModulatedRate(fast, amplitude=0.6, period=8.0)
+        slow = ModulatedRate(slow, amplitude=0.6, period=8.0)
+    return run_two_ring_timeseries(
+        (fast, slow),
+        lambda_rate=lam,
+        duration=LAMBDA_DURATION,
+        message_size=MESSAGE_SIZE,
+        buffer_limit=buffer_limit,
+    )
+
+
+def _lambda_spec(levels: list[float], lam: float, **kwargs) -> Spec:
+    return Spec(
+        fn="repro.bench.figures:_lambda_case",
+        kwargs={"levels": list(levels), "lam": lam, **kwargs},
+        label=f"lambda_case:lam={lam:g}:{kwargs}",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Figures
 # ---------------------------------------------------------------------------
 def figure1():
     """In-memory vs Recoverable Ring Paxos (latency vs throughput)."""
-    rows = []
-    for durable, offered_list in (
-        (False, [100, 300, 500, 650, 700, 750]),
-        (True, [100, 200, 300, 380, 420, 500]),
-    ):
-        for offered in offered_list:
-            r = run_single_ring_point(offered, durable=durable)
-            rows.append(
-                (r.label, offered, r.delivered_mbps, r.latency_ms, r.cpu_pct,
-                 r.extra["disk_util_pct"])
-            )
+    grid = [
+        (durable, offered)
+        for durable, offered_list in (
+            (False, [100, 300, 500, 650, 700, 750]),
+            (True, [100, 200, 300, 380, 420, 500]),
+        )
+        for offered in offered_list
+    ]
+    specs = [
+        _point("run_single_ring_point", offered_mbps=float(offered), durable=durable)
+        for durable, offered in grid
+    ]
+    rows = [
+        (r.label, offered, r.delivered_mbps, r.latency_ms, r.cpu_pct,
+         r.extra["disk_util_pct"])
+        for (durable, offered), r in zip(grid, run_sweep(specs))
+    ]
     table = format_table(
         "Figure 1: latency vs delivery throughput per server (single Ring Paxos)",
         ["mode", "offered Mbps", "delivered Mbps", "latency ms", "coord CPU %", "disk %"],
@@ -67,10 +116,12 @@ def figure1():
 
 def figure2():
     """Partitioned dummy service over one Ring Paxos instance."""
-    rows = []
-    for n in (1, 2, 4, 8):
-        r = run_partitioned_single_ring_point(n)
-        rows.append((n, r.delivered_mbps, r.extra["per_partition_mbps"], r.cpu_pct))
+    ns = (1, 2, 4, 8)
+    specs = [_point("run_partitioned_single_ring_point", n_partitions=n) for n in ns]
+    rows = [
+        (n, r.delivered_mbps, r.extra["per_partition_mbps"], r.cpu_pct)
+        for n, r in zip(ns, run_sweep(specs))
+    ]
     table = format_table(
         "Figure 2: overall throughput of a partitioned service on one Ring Paxos",
         ["partitions", "overall Mbps", "per-partition Mbps", "coord CPU %"],
@@ -81,22 +132,22 @@ def figure2():
 
 def figure5():
     """Scalability: M-RP (RAM/DISK) vs Spread, Ring Paxos, LCR."""
-    rows = []
+    grid: list[tuple[str, int, Spec]] = []
     for n in (1, 2, 4, 8):
-        r = run_multiring_point(n, durable=False)
-        rows.append(("RAM M-RP", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+        grid.append(("RAM M-RP", n, _point("run_multiring_point", n_rings=n, durable=False)))
     for n in (1, 2, 4, 8):
-        r = run_multiring_point(n, durable=True)
-        rows.append(("DISK M-RP", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+        grid.append(("DISK M-RP", n, _point("run_multiring_point", n_rings=n, durable=True)))
     for n in (1, 2, 4, 8):
-        r = run_partitioned_single_ring_point(n)
-        rows.append(("Ring Paxos", n, r.delivered_mbps / 1e3, 0.0, r.latency_ms, r.cpu_pct))
+        grid.append(("Ring Paxos", n, _point("run_partitioned_single_ring_point", n_partitions=n)))
     for n in (1, 2, 4, 8):
-        r = run_spread_point(n)
-        rows.append(("Spread", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+        grid.append(("Spread", n, _point("run_spread_point", n_daemons=n)))
     for n in (2, 4, 8, 16):
-        r = run_lcr_point(n)
-        rows.append(("LCR", n, r.delivered_mbps / 1e3, r.msgs_per_s, r.latency_ms, r.cpu_pct))
+        grid.append(("LCR", n, _point("run_lcr_point", n_nodes=n)))
+    results = run_sweep([spec for _, _, spec in grid])
+    rows = []
+    for (system, n, _), r in zip(grid, results):
+        msgs = 0.0 if system == "Ring Paxos" else r.msgs_per_s
+        rows.append((system, n, r.delivered_mbps / 1e3, msgs, r.latency_ms, r.cpu_pct))
     table = format_table(
         "Figure 5: scalability, one group per learner",
         ["system", "partitions/nodes", "Gbps", "msg/s", "latency ms", "max CPU %"],
@@ -107,15 +158,17 @@ def figure5():
 
 def figure6():
     """Every learner subscribes to all groups (ingress-bound)."""
-    rows = []
-    for durable in (False, True):
-        for n in (1, 2, 4, 8):
-            r = run_multiring_point(n, durable=durable, subscribe_all=True)
-            rows.append(
-                ("DISK M-RP" if durable else "RAM M-RP", n, r.delivered_mbps,
-                 r.msgs_per_s, r.latency_ms, r.extra["learner_ingress_pct"],
-                 r.extra["learner_cpu_pct"])
-            )
+    grid = [(durable, n) for durable in (False, True) for n in (1, 2, 4, 8)]
+    specs = [
+        _point("run_multiring_point", n_rings=n, durable=durable, subscribe_all=True)
+        for durable, n in grid
+    ]
+    rows = [
+        ("DISK M-RP" if durable else "RAM M-RP", n, r.delivered_mbps,
+         r.msgs_per_s, r.latency_ms, r.extra["learner_ingress_pct"],
+         r.extra["learner_cpu_pct"])
+        for (durable, n), r in zip(grid, run_sweep(specs))
+    ]
     table = format_table(
         "Figure 6: every learner subscribes to all groups",
         ["system", "rings", "Mbps", "msg/s", "latency ms", "ingress %", "learner CPU %"],
@@ -126,11 +179,20 @@ def figure6():
 
 def figure7():
     """The effect of Delta."""
-    rows = []
-    for delta in (1e-3, 10e-3, 100e-3):
-        for offered in (50, 200, 400, 800):
-            r = run_two_ring_parameter_point(offered, delta=delta, burst=8)
-            rows.append((f"{delta * 1e3:g} ms", offered, r.delivered_mbps, r.latency_ms, r.cpu_pct))
+    grid = [
+        (delta, offered)
+        for delta in (1e-3, 10e-3, 100e-3)
+        for offered in (50, 200, 400, 800)
+    ]
+    specs = [
+        _point("run_two_ring_parameter_point",
+               offered_mbps_total=float(offered), delta=delta, burst=8)
+        for delta, offered in grid
+    ]
+    rows = [
+        (f"{delta * 1e3:g} ms", offered, r.delivered_mbps, r.latency_ms, r.cpu_pct)
+        for (delta, offered), r in zip(grid, run_sweep(specs))
+    ]
     table = format_table(
         "Figure 7: the effect of Delta (2 rings, learner on both)",
         ["Delta", "offered Mbps", "delivered Mbps", "latency ms", "coord CPU %"],
@@ -141,11 +203,16 @@ def figure7():
 
 def figure8():
     """The effect of M."""
-    rows = []
-    for m in (1, 10, 100):
-        for offered in (200, 400, 600, 800):
-            r = run_two_ring_parameter_point(offered, m=m, burst=1, jitter=0.0)
-            rows.append((m, offered, r.delivered_mbps, r.latency_ms, r.extra["learner_cpu_pct"]))
+    grid = [(m, offered) for m in (1, 10, 100) for offered in (200, 400, 600, 800)]
+    specs = [
+        _point("run_two_ring_parameter_point",
+               offered_mbps_total=float(offered), m=m, burst=1, jitter=0.0)
+        for m, offered in grid
+    ]
+    rows = [
+        (m, offered, r.delivered_mbps, r.latency_ms, r.extra["learner_cpu_pct"])
+        for (m, offered), r in zip(grid, run_sweep(specs))
+    ]
     table = format_table(
         "Figure 8: the effect of M (2 rings, learner on both)",
         ["M", "offered Mbps", "delivered Mbps", "latency ms", "learner CPU %"],
@@ -171,72 +238,53 @@ def _lambda_latency_plot(results) -> str:
     )
 
 
-def figure9():
-    """Lambda with equal constant rates."""
-    levels = [25, 75, 150, 225, 310]
-    results = {
-        lam: run_two_ring_timeseries(
-            (_stepped(levels), _stepped(levels)), lambda_rate=lam,
-            duration=LAMBDA_DURATION, message_size=MESSAGE_SIZE,
-        )
-        for lam in (0.0, 1000.0, 5000.0)
-    }
+def _lambda_figure(title: str, lams: tuple[float, ...], levels: list[float], **case_kwargs):
+    specs = [_lambda_spec(levels, lam, **case_kwargs) for lam in lams]
+    results = dict(zip(lams, run_sweep(specs)))
     rows = _lambda_series_rows(results)
-    table = format_table(
-        "Figure 9: lambda with equal constant rates (stepped every 8 s)",
-        ["lambda", "state/t", "latency", ""],
-        rows,
-    )
+    table = format_table(title, ["lambda", "state/t", "latency", ""], rows)
     table += "\n\n" + _lambda_latency_plot(results)
     return results, table
+
+
+def figure9():
+    """Lambda with equal constant rates."""
+    return _lambda_figure(
+        "Figure 9: lambda with equal constant rates (stepped every 8 s)",
+        (0.0, 1000.0, 5000.0),
+        [25, 75, 150, 225, 310],
+    )
 
 
 def figure10():
     """Lambda with 2:1 skewed constant rates."""
-    levels = [50, 150, 300, 450, 520]
-    results = {
-        lam: run_two_ring_timeseries(
-            (_stepped(levels), ScaledRate(_stepped(levels), 0.5)), lambda_rate=lam,
-            duration=LAMBDA_DURATION, message_size=MESSAGE_SIZE, buffer_limit=15_000,
-        )
-        for lam in (1000.0, 5000.0, 9000.0)
-    }
-    rows = _lambda_series_rows(results)
-    table = format_table(
+    return _lambda_figure(
         "Figure 10: lambda with 2:1 skewed constant rates",
-        ["lambda", "state/t", "latency", ""],
-        rows,
+        (1000.0, 5000.0, 9000.0),
+        [50, 150, 300, 450, 520],
+        scale2=0.5,
+        buffer_limit=15_000,
     )
-    table += "\n\n" + _lambda_latency_plot(results)
-    return results, table
 
 
 def figure11():
     """Lambda with oscillating 2:1 rates."""
-    levels = [50, 130, 260, 330, 390]
-    results = {}
-    for lam in (5000.0, 9000.0, 12000.0):
-        fast = ModulatedRate(_stepped(levels), amplitude=0.6, period=8.0)
-        slow = ModulatedRate(ScaledRate(_stepped(levels), 0.5), amplitude=0.6, period=8.0)
-        results[lam] = run_two_ring_timeseries(
-            (fast, slow), lambda_rate=lam, duration=LAMBDA_DURATION,
-            message_size=MESSAGE_SIZE, buffer_limit=15_000,
-        )
-    rows = _lambda_series_rows(results)
-    table = format_table(
+    return _lambda_figure(
         "Figure 11: lambda with oscillating 2:1 rates",
-        ["lambda", "state/t", "latency", ""],
-        rows,
+        (5000.0, 9000.0, 12000.0),
+        [50, 130, 260, 330, 390],
+        scale2=0.5,
+        modulate=True,
+        buffer_limit=15_000,
     )
-    table += "\n\n" + _lambda_latency_plot(results)
-    return results, table
 
 
 def figure12():
     """Coordinator failure at t=20 s, restart 3 s later."""
-    res = run_coordinator_failure_timeseries(
-        rate_msgs_per_s=4000.0, fail_at=20.0, restart_after=3.0, duration=32.0
-    )
+    [res] = run_sweep([
+        _point("run_coordinator_failure_timeseries",
+               rate_msgs_per_s=4000.0, fail_at=20.0, restart_after=3.0, duration=32.0)
+    ])
     delivered = dict((round(t), v) for t, v in res.delivered_mbps)
     rx1 = dict((round(t), v) for t, v in res.multicast_mbps[0])
     rx2 = dict((round(t), v) for t, v in res.multicast_mbps[1])
@@ -262,13 +310,15 @@ def figure12():
 
 def related_mencius():
     """Related work: Mencius vs Multi-Ring Paxos (Section V)."""
-    rows = []
+    grid: list[tuple[str, int, Spec]] = []
     for n in (2, 4, 8):
-        r = run_mencius_point(n)
-        rows.append(("Mencius", n, r.delivered_mbps / 1e3, r.latency_ms, r.cpu_pct))
+        grid.append(("Mencius", n, _point("run_mencius_point", n_servers=n)))
     for n in (2, 4, 8):
-        r = run_multiring_point(n, durable=False)
-        rows.append(("RAM M-RP", n, r.delivered_mbps / 1e3, r.latency_ms, r.cpu_pct))
+        grid.append(("RAM M-RP", n, _point("run_multiring_point", n_rings=n, durable=False)))
+    rows = [
+        (system, n, r.delivered_mbps / 1e3, r.latency_ms, r.cpu_pct)
+        for (system, n, _), r in zip(grid, run_sweep([s for _, _, s in grid]))
+    ]
     table = format_table(
         "Related work: Mencius vs Multi-Ring Paxos",
         ["system", "servers/rings", "Gbps", "latency ms", "max CPU %"],

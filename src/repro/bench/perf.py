@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -50,6 +52,7 @@ __all__ = [
     "bench_fig1_runner",
     "bench_multiring_runner",
     "bench_fuzz_round",
+    "bench_fig5_sweep",
     "run_suite",
     "compare_to_baseline",
     "speedups",
@@ -62,6 +65,30 @@ __all__ = [
 SCHEMA_VERSION = 1
 DEFAULT_BASELINE_PATH = "benchmarks/perf/baseline.json"
 DEFAULT_OUTPUT_PATH = "BENCH_perf.json"
+
+
+def _atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Several writers share ``BENCH_perf.json`` (the suite, the
+    probe-overhead benchmark, parallel CI legs); a plain ``write_text``
+    lets a reader — or a concurrent read-modify-write — observe a
+    truncated file. The temp file lives next to the target so the final
+    rename never crosses a filesystem boundary.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -224,8 +251,74 @@ def bench_fuzz_round(seeds: tuple[int, ...] = (1234, 1235, 1236, 1237, 1238),
     return _entry(best, "s", False, seeds=list(seeds), events_checked=checked)
 
 
-def run_suite(mode: str = "full", verbose: bool = True) -> dict[str, dict]:
-    """Run every benchmark at the given size; returns name -> entry."""
+def bench_fig5_sweep(
+    jobs: int | str = 4,
+    n_list: tuple[int, ...] = (1, 2, 4, 4),
+    duration: float = 0.5,
+    warmup_s: float = 0.25,
+) -> dict:
+    """The fig5 sweep through the parallel executor: serial vs fanned-out
+    vs fully cached.
+
+    One measurement, three legs over identical specs (scaled-down
+    Figure 5 multi-ring points):
+
+    * ``serial_s`` — ``jobs=1``, in-process (the pre-executor behavior);
+    * value (``parallel_s``) — ``jobs=N`` worker fan-out;
+    * ``cached_s`` — a rerun against a freshly warmed cache.
+
+    The three result lists must be identical (the executor's determinism
+    guarantee); the meta carries the speedup ratios and the host's CPU
+    count, since the parallel ratio is meaningless without it.
+    """
+    import shutil
+    from ..parallel import ResultCache, Spec, parse_jobs, run_specs
+
+    jobs = parse_jobs(jobs)
+    specs = [
+        Spec(
+            fn="repro.bench.runner:run_multiring_point",
+            kwargs={"n_rings": n, "durable": False, "duration": duration,
+                    "warmup": warmup_s, "seed": 1 + i},
+            label=f"fig5_sweep:n{n}:seed{1 + i}",
+        )
+        for i, n in enumerate(n_list)
+    ]
+
+    serial, serial_s = time_call(lambda: run_specs(specs, jobs=1), repeat=1, warmup=1)
+    parallel, parallel_s = time_call(lambda: run_specs(specs, jobs=jobs), repeat=1)
+    if [r.delivered_mbps for r in serial] != [r.delivered_mbps for r in parallel]:
+        raise AssertionError("parallel sweep results differ from serial")
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        _, cold_s = time_call(lambda: run_specs(specs, jobs=1, cache=cache), repeat=1)
+        cached, cached_s = time_call(lambda: run_specs(specs, jobs=1, cache=cache), repeat=1)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if [r.delivered_mbps for r in cached] != [r.delivered_mbps for r in serial]:
+        raise AssertionError("cached sweep results differ from serial")
+
+    return _entry(
+        parallel_s, "s", False,
+        jobs=jobs,
+        cpu_count=os.cpu_count(),
+        points=len(specs),
+        serial_s=serial_s,
+        parallel_speedup_vs_serial=round(serial_s / parallel_s, 3) if parallel_s else None,
+        cache_cold_s=cold_s,
+        cached_rerun_s=cached_s,
+        cached_rerun_fraction_of_cold=round(cached_s / cold_s, 4) if cold_s else None,
+    )
+
+
+def run_suite(mode: str = "full", verbose: bool = True, jobs: int | str = 4) -> dict[str, dict]:
+    """Run every benchmark at the given size; returns name -> entry.
+
+    ``jobs`` sizes the parallel leg of the sweep benchmark (the other
+    benchmarks are single-process by design).
+    """
     if mode == "full":
         plan: list[tuple[str, Callable[[], dict]]] = [
             ("kernel_events_per_sec", lambda: bench_kernel_events()),
@@ -233,6 +326,7 @@ def run_suite(mode: str = "full", verbose: bool = True) -> dict[str, dict]:
             ("fig1_runner_s", lambda: bench_fig1_runner()),
             ("fig5_multiring_s", lambda: bench_multiring_runner()),
             ("fuzz_round_s", lambda: bench_fuzz_round()),
+            ("fig5_sweep_parallel_s", lambda: bench_fig5_sweep(jobs=jobs)),
         ]
     elif mode == "quick":
         plan = [
@@ -242,6 +336,8 @@ def run_suite(mode: str = "full", verbose: bool = True) -> dict[str, dict]:
             ("fig5_multiring_s",
              lambda: bench_multiring_runner(n_rings=2, duration=0.4, warmup_s=0.2, repeat=1)),
             ("fuzz_round_s", lambda: bench_fuzz_round(seeds=(1234, 1235), repeat=1)),
+            ("fig5_sweep_parallel_s",
+             lambda: bench_fig5_sweep(jobs=jobs, n_list=(1, 2), duration=0.3, warmup_s=0.15)),
         ]
     else:
         raise ValueError(f"unknown benchmark mode {mode!r} (expected 'full' or 'quick')")
@@ -333,7 +429,7 @@ def write_report(
         },
         "speedup": speedups(benchmarks, base_benchmarks),
     }
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
 
@@ -344,9 +440,7 @@ def update_baseline(path: str | Path, mode: str, benchmarks: dict[str, dict]) ->
     existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     existing["host"] = _host_info()
     existing.setdefault("modes", {})[mode] = {"benchmarks": benchmarks}
-    p = Path(path)
-    p.parent.mkdir(parents=True, exist_ok=True)
-    p.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(path, json.dumps(existing, indent=2, sort_keys=True) + "\n")
     return existing
 
 
@@ -355,7 +449,9 @@ def merge_results(results: dict[str, dict], path: str | Path = DEFAULT_OUTPUT_PA
 
     Lets satellite benchmarks (e.g. the probe-overhead test) land their
     numbers in the same ``BENCH_perf.json`` the suite writes, without
-    re-running the suite.
+    re-running the suite. The read-modify-write publishes atomically
+    (temp file + ``os.replace``), so a concurrent merger or reader can
+    never observe a truncated report — last writer wins whole-file.
     """
     report = load_report(path) or {
         "schema": SCHEMA_VERSION,
@@ -367,7 +463,7 @@ def merge_results(results: dict[str, dict], path: str | Path = DEFAULT_OUTPUT_PA
         "speedup": {},
     }
     report.setdefault("benchmarks", {}).update(results)
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 # ---------------------------------------------------------------------------
@@ -391,11 +487,21 @@ def bench_main(argv: list[str] | None = None) -> int:
                         help="exit 1 if any benchmark regresses past --max-regression")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed slowdown vs baseline (default 0.30 = 30%%)")
+    parser.add_argument("--jobs", default="4",
+                        help="worker processes for the sweep benchmark's parallel "
+                             "leg: a number or 'auto' (default 4)")
     args = parser.parse_args(argv)
 
+    from ..parallel import parse_jobs
+
+    try:
+        jobs = parse_jobs(args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     mode = "quick" if args.quick else "full"
     print(f"perf suite ({mode}):")
-    benchmarks = run_suite(mode)
+    benchmarks = run_suite(mode, jobs=jobs)
 
     if args.update_baseline:
         update_baseline(args.baseline, mode, benchmarks)

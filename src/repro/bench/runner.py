@@ -10,7 +10,13 @@ measurement shapes:
   rate, delivery rate and latency (the λ and failure experiments).
 
 All runners build a fresh simulator per point, so points are independent
-and deterministic given the seed.
+and deterministic given the seed. That independence is load-bearing:
+every runner is addressable as a :class:`repro.parallel.spec.Spec`
+(``"repro.bench.runner:<name>"`` plus JSON-primitive kwargs), which is
+how figure sweeps fan points out across worker processes and memoize
+completed points on disk (see ``repro.parallel`` and
+``repro.bench.figures``). Keep new runners pure functions of their
+keyword arguments — no module-level mutable state, results picklable.
 """
 
 from __future__ import annotations

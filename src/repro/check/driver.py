@@ -16,6 +16,13 @@ reproduces the same oracle violation — and writes the minimal schedule,
 plus everything needed to replay it, as JSON. ``repro fuzz --replay
 file.json`` re-runs exactly that case.
 
+Cases are independent (each builds a fresh deployment from its seed), so
+``--jobs N|auto`` fans them out across worker processes through
+:mod:`repro.parallel`; verdicts come back in seed order and shrinking
+plus failure-artifact writing always happen in the parent process.
+``--cache`` additionally memoizes verdicts in ``results/.cache`` keyed
+by the case spec and the code version.
+
 CLI entry point: :func:`fuzz_main` (wired to ``python -m repro fuzz``).
 """
 
@@ -24,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -341,7 +349,21 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                         help="save failures without minimizing")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="stop starting new cases after this many wall seconds")
+    parser.add_argument("--jobs", default="1",
+                        help="worker processes for the seed sweep: a number or "
+                             "'auto' (CPU count); 1 runs in-process (default)")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize case verdicts in results/.cache "
+                             "(content-addressed by case spec + code version)")
     args = parser.parse_args(argv)
+
+    from ..parallel import ResultCache, Spec, parse_jobs, run_specs
+
+    try:
+        jobs = parse_jobs(args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     if args.replay is not None:
         seed, config, schedule = load_failure(args.replay)
@@ -355,30 +377,69 @@ def fuzz_main(argv: list[str] | None = None) -> int:
             print(f"  {line}")
         return 1
 
-    started = time.monotonic()
-    failures = 0
-    completed = 0
-    for i in range(args.runs):
-        if args.time_budget is not None and time.monotonic() - started >= args.time_budget:
-            print(f"time budget ({args.time_budget:g}s) reached after {completed} runs")
-            break
-        seed = args.seed + i
-        result = run_case(seed, grace=args.grace, duration=args.duration)
-        completed += 1
+    # The seed sweep: each case is one picklable spec; the executor runs
+    # them in-process (--jobs 1), or fans them out across workers. The
+    # spec addresses run_case through the module attribute, so verdicts
+    # are identical either way.
+    specs = [
+        Spec(
+            fn="repro.check.driver:run_case",
+            kwargs={"seed": args.seed + i, "grace": args.grace, "duration": args.duration},
+            label=f"fuzz:seed{args.seed + i}",
+        )
+        for i in range(args.runs)
+    ]
+
+    def print_verdict(index: int, status: str, result) -> None:
+        if status == "error":
+            print(f"seed {args.seed + index}: ERROR {result}")
+            return
+        cached = " (cached)" if status == "cached" else ""
         if result.ok:
-            print(f"seed {seed}: ok ({len(result.schedule)} fault steps, "
-                  f"{result.events_checked} events checked)")
+            print(f"seed {result.seed}: ok ({len(result.schedule)} fault steps, "
+                  f"{result.events_checked} events checked){cached}")
+        else:
+            print(f"seed {result.seed}: FAIL {result.message}{cached}")
+
+    # Workers finish out of order; verdict lines are buffered and flushed
+    # in seed order so the log reads identically for any --jobs. Tasks are
+    # dispatched in spec order (a time budget only truncates the tail), so
+    # completed indices always form a prefix and the buffer fully drains.
+    buffered: dict[int, tuple[str, object]] = {}
+    flushed = [0]
+
+    def report(index: int, status: str, result) -> None:
+        buffered[index] = (status, result)
+        while flushed[0] in buffered:
+            print_verdict(flushed[0], *buffered.pop(flushed[0]))
+            flushed[0] += 1
+
+    results = run_specs(
+        specs,
+        jobs=jobs,
+        cache=ResultCache() if args.cache else None,
+        time_budget=args.time_budget,
+        on_result=report,
+    )
+    completed = sum(1 for r in results if r is not None)
+    if completed < len(specs) and args.time_budget is not None:
+        print(f"time budget ({args.time_budget:g}s) reached after {completed} runs")
+
+    # Failure artifacts and shrinking stay in the parent: shrink re-runs
+    # cases serially right here, and only the parent touches --out.
+    failures = 0
+    for result in results:
+        if result is None or result.ok:
             continue
         failures += 1
-        print(f"seed {seed}: FAIL {result.message}")
         shrunk = result.schedule
         if not args.no_shrink:
             shrunk, reruns = shrink(result, budget=args.shrink_budget, grace=args.grace)
-            print(f"  shrunk {len(result.schedule)} -> {len(shrunk)} steps "
-                  f"({reruns} reruns)")
+            print(f"  seed {result.seed}: shrunk {len(result.schedule)} -> "
+                  f"{len(shrunk)} steps ({reruns} reruns)")
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
-        out_path = out_dir / f"seed{seed}.json"
+        out_path = out_dir / f"seed{result.seed}.json"
         out_path.write_text(json.dumps(failure_to_dict(result, shrunk), indent=2) + "\n")
         print(f"  wrote {out_path}")
         for line in shrunk.describe().splitlines():

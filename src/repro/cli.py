@@ -7,6 +7,14 @@ Usage::
     python -m repro fig5 fig6          # several in sequence
     python -m repro all                # the whole evaluation
     python -m repro fig1 --out results # also persist tables as text files
+    python -m repro all --jobs auto    # fan sweep points across all cores
+    python -m repro fig5 --no-cache    # recompute even cached points
+    python -m repro fig5 --cache-clear # drop results/.cache first
+
+Sweep points fan out across ``--jobs`` worker processes and completed
+points are memoized in ``results/.cache`` keyed by spec + code version;
+outputs are byte-identical for any job count (see docs/simulation.md,
+"Parallel execution & result caching").
 
 The same experiment definitions back the pytest benchmarks (which add the
 shape assertions); see ``repro.bench.figures``.
@@ -56,6 +64,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL observability trace (profile rows + metric "
         "snapshots for every simulator the run creates) to FILE",
     )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        default="auto",
+        help="worker processes for sweep points: a number or 'auto' "
+        "(CPU count, the default); 1 runs everything in-process",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="delete results/.cache before running",
+    )
     return parser
 
 
@@ -75,6 +100,13 @@ def main(argv: list[str] | None = None) -> int:
 
         return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
+    from .parallel import ResultCache, configure_executor, parse_jobs
+
+    try:
+        jobs = parse_jobs(args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     names = list(args.experiments)
     if names == ["list"]:
         print("available experiments:")
@@ -103,14 +135,30 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         session = ObsSession(emit_path=args.emit_metrics)
         session.__enter__()
+    if args.cache_clear:
+        removed = ResultCache().clear()
+        print(f"[cache cleared: {removed} entries]")
+    cache = None if args.no_cache else ResultCache()
+    restore = configure_executor(
+        jobs=jobs,
+        cache=cache,
+        obs_sink=session.absorb if session is not None else None,
+    )
     try:
         for name in names:
             started = time.time()
+            before = cache.stats() if cache is not None else None
             _, table = run_figure(name)
             elapsed = time.time() - started
             print()
             print(table)
             print(f"[{name} completed in {elapsed:.1f}s]")
+            if cache is not None and before is not None:
+                after = cache.stats()
+                print(
+                    f"[cache: {after['hits'] - before['hits']} hits, "
+                    f"{after['stores'] - before['stores']} new entries]"
+                )
             if args.out:
                 os.makedirs(args.out, exist_ok=True)
                 path = os.path.join(args.out, f"{name}.txt")
@@ -118,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
                     fh.write(table + "\n")
                 print(f"[written to {path}]")
     finally:
+        restore()
         if session is not None:
             session.__exit__(None, None, None)
             for sim_index, row in session.saturation_summary():

@@ -14,7 +14,7 @@ from typing import IO, Any
 
 from .probe import ProbeBus, ProbeEvent
 
-__all__ = ["JsonlTraceWriter"]
+__all__ = ["JsonlTraceWriter", "MemoryTraceWriter"]
 
 
 class JsonlTraceWriter:
@@ -59,6 +59,46 @@ class JsonlTraceWriter:
             self._fh = None
 
     def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class MemoryTraceWriter:
+    """The :class:`JsonlTraceWriter` interface, buffering records in memory.
+
+    Used by sweep worker processes: the worker runs its point under a
+    collecting :class:`~repro.obs.session.ObsSession`, and the buffered
+    records travel back to the parent (pickled with the result) to be
+    merged into the parent's single trace file.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+        self.records_written = 0
+        self._unsubscribers: list = []
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Buffer one record."""
+        # Round-trip through JSON so buffered records are exactly as
+        # serializable as the ones a JsonlTraceWriter would have written.
+        self.records.append(json.loads(json.dumps(record, default=str)))
+        self.records_written += 1
+
+    def write_probe(self, event: ProbeEvent) -> None:
+        self.write(event.as_record())
+
+    def subscribe(self, bus: ProbeBus, kinds: tuple[str, ...]) -> None:
+        for kind in kinds:
+            self._unsubscribers.append(bus.subscribe(self.write_probe, kind=kind))
+
+    def close(self) -> None:
+        for remove in self._unsubscribers:
+            remove()
+        self._unsubscribers.clear()
+
+    def __enter__(self) -> "MemoryTraceWriter":
         return self
 
     def __exit__(self, *exc: object) -> None:

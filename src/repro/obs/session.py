@@ -25,7 +25,7 @@ from __future__ import annotations
 from ..metrics.registry import MetricsRegistry, observe_registries
 from ..sim.network import Network, observe_networks
 from ..sim.simulator import Simulator, observe_simulators
-from .export import JsonlTraceWriter
+from .export import JsonlTraceWriter, MemoryTraceWriter
 from .probe import ProbeBus
 from .profiler import ProfileRow, SimProfiler
 
@@ -46,14 +46,26 @@ class ObsSession:
         Probe event kinds to stream into the trace (e.g. ``("net.drop",)``).
         Defaults to none: per-event records for a saturated run are huge,
         and the profile/metric summaries carry the evaluation's signal.
+    collect:
+        Buffer the trace in memory (a :class:`MemoryTraceWriter`) instead
+        of a file. Sweep worker processes use this: their buffered records
+        ride back to the parent, which merges them via :meth:`absorb`.
     """
 
-    def __init__(self, emit_path: str | None = None, probe_kinds: tuple[str, ...] = ()) -> None:
+    def __init__(
+        self,
+        emit_path: str | None = None,
+        probe_kinds: tuple[str, ...] = (),
+        collect: bool = False,
+    ) -> None:
         self.bus = ProbeBus()
         self.simulators: list[Simulator] = []
         self.profilers: list[SimProfiler] = []
         self.registries: list[MetricsRegistry] = []
-        self.writer = JsonlTraceWriter(emit_path) if emit_path else None
+        if collect:
+            self.writer = MemoryTraceWriter()
+        else:
+            self.writer = JsonlTraceWriter(emit_path) if emit_path else None
         self.probe_kinds = tuple(probe_kinds)
         self._removers: list = []
 
@@ -122,6 +134,25 @@ class ObsSession:
             for row in registry.snapshot():
                 record = {"type": "metric", "registry": index, **row}
                 self.writer.write(record)
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Buffered records of a ``collect=True`` session (else empty)."""
+        if isinstance(self.writer, MemoryTraceWriter):
+            return list(self.writer.records)
+        return []
+
+    def absorb(self, records: list[dict], origin: str = "") -> None:
+        """Merge another session's records (e.g. from a sweep worker) into
+        this session's trace, tagging each with ``origin``."""
+        if self.writer is None or not records:
+            return
+        for record in records:
+            if origin:
+                record = {**record, "origin": origin}
+            self.writer.write(record)
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache for completed sweep points.
+
+Every runner in :mod:`repro.bench.runner` and every fuzz case is a pure
+function of its spec (fresh simulator per point, deterministic given the
+seed), so a completed result can be memoized forever — *for one version
+of the code*. The cache key is therefore::
+
+    sha256(canonical-spec-JSON + "\\n" + code_fingerprint(src/repro))
+
+Entries live under ``results/.cache/`` as pickle files named by key.
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps —
+several workers, several CLI invocations, a CI matrix — can share one
+cache directory without ever observing a torn entry. A corrupt or
+unreadable entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from .fingerprint import code_fingerprint
+from .spec import Spec
+
+__all__ = ["ResultCache", "MISS", "DEFAULT_CACHE_DIR"]
+
+# src/repro/parallel/cache.py -> repo root is parents[3].
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / "results" / ".cache"
+
+# Unique miss sentinel: ``None`` is a legal cached result.
+MISS = object()
+
+_ENTRY_VERSION = 1
+
+
+class ResultCache:
+    """Pickle-per-key result store under ``directory`` (default
+    ``results/.cache``).
+
+    ``fingerprint`` pins the code-version component of every key; by
+    default it is computed from the live source tree. Tests override it
+    to simulate a code change without editing files.
+    """
+
+    def __init__(self, directory: str | Path | None = None, fingerprint: str | None = None):
+        self.directory = Path(directory) if directory is not None else DEFAULT_CACHE_DIR
+        self._fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def key(self, spec: Spec) -> str:
+        """Content address of one spec under the current code version."""
+        payload = spec.canonical_json() + "\n" + self.fingerprint
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: Spec) -> Path:
+        return self.directory / f"{self.key(spec)}.pkl"
+
+    # ------------------------------------------------------------------
+    # Get / put / clear
+    # ------------------------------------------------------------------
+    def get(self, spec: Spec) -> Any:
+        """The cached result for ``spec``, or the :data:`MISS` sentinel."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except Exception:
+            # Missing, torn (pre-atomic-write era), corrupt bytes, or stale
+            # class layout: all of these are just misses. unpickle errors
+            # are open-ended (ValueError, EOFError, ImportError, ...).
+            self.misses += 1
+            return MISS
+        if not isinstance(entry, dict) or entry.get("version") != _ENTRY_VERSION:
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, spec: Spec, result: Any) -> None:
+        """Atomically persist ``result`` under the spec's key.
+
+        The temp file lives in the cache directory itself so
+        ``os.replace`` stays on one filesystem (rename atomicity).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": _ENTRY_VERSION,
+            "spec": spec.canonical(),
+            "fingerprint": self.fingerprint,
+            "result": result,
+        }
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.iterdir():
+            if path.suffix in (".pkl", ".tmp") and path.is_file():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

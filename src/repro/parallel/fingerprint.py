@@ -1,0 +1,60 @@
+"""Code-version fingerprint: one hash over the ``repro`` source tree.
+
+Cached sweep results are only valid for the code that produced them, so
+every cache key mixes in a fingerprint of ``src/repro``. The fingerprint
+must be a pure function of the *source contents*, not of filesystem
+accidents: files are hashed in sorted relative-path order (directory
+iteration order varies across filesystems) and newlines are normalized
+(a CRLF checkout must not look like different code).
+
+The walk covers every ``*.py`` file under the package root; non-code
+artifacts (``__pycache__``, ``.pyc``) are excluded by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["code_fingerprint", "clear_fingerprint_cache"]
+
+# The installed package root (src/repro): the code whose behavior the
+# cached results depend on.
+_DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+
+# Hashing ~60 files per sweep call would dominate small cache lookups;
+# one process never sees its own source change, so memoize per root.
+_memo: dict[Path, str] = {}
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoized fingerprints (tests that rewrite source trees)."""
+    _memo.clear()
+
+
+def code_fingerprint(root: str | Path | None = None) -> str:
+    """Hex digest of every ``*.py`` file under ``root`` (default: repro).
+
+    Deterministic across machines and checkouts: files are visited in
+    sorted POSIX relative-path order and CRLF/CR newlines are normalized
+    to LF before hashing. Path and content are delimited with NUL bytes
+    so ``(a.py, bc)`` can never collide with ``(a.pyb, c)``.
+    """
+    base = Path(root).resolve() if root is not None else _DEFAULT_ROOT
+    cached = _memo.get(base)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    files = sorted(
+        (p for p in base.rglob("*.py") if p.is_file()),
+        key=lambda p: p.relative_to(base).as_posix(),
+    )
+    for path in files:
+        data = path.read_bytes().replace(b"\r\n", b"\n").replace(b"\r", b"\n")
+        digest.update(path.relative_to(base).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(data)
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    _memo[base] = fingerprint
+    return fingerprint

@@ -1,0 +1,87 @@
+"""The code-version fingerprint: content-determined, order-independent.
+
+The fingerprint is the code half of every cache key, so two properties
+are load-bearing: it must change whenever any source file changes (stale
+results must never be served), and it must NOT change for filesystem
+accidents — directory iteration order, CRLF checkouts — or identical
+trees on two machines would disagree and the cache would never hit.
+"""
+
+from pathlib import Path
+
+from repro.parallel import clear_fingerprint_cache, code_fingerprint
+
+
+def _tree(base: Path, files: dict[str, bytes]) -> Path:
+    for rel, content in files.items():
+        path = base / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(content)
+    return base
+
+
+def test_identical_trees_hash_identically_regardless_of_creation_order(tmp_path):
+    a = _tree(tmp_path / "a", {"x.py": b"one\n", "sub/y.py": b"two\n", "z.py": b"three\n"})
+    # Same contents, created in reverse order (directory entries will
+    # typically be returned in insertion order on common filesystems).
+    b = _tree(tmp_path / "b", {"z.py": b"three\n", "sub/y.py": b"two\n", "x.py": b"one\n"})
+    assert code_fingerprint(a) == code_fingerprint(b)
+
+
+def test_newlines_are_normalized(tmp_path):
+    lf = _tree(tmp_path / "lf", {"m.py": b"a = 1\nb = 2\n"})
+    crlf = _tree(tmp_path / "crlf", {"m.py": b"a = 1\r\nb = 2\r\n"})
+    cr = _tree(tmp_path / "cr", {"m.py": b"a = 1\rb = 2\r"})
+    assert code_fingerprint(lf) == code_fingerprint(crlf) == code_fingerprint(cr)
+
+
+def test_content_change_changes_fingerprint(tmp_path):
+    root = _tree(tmp_path / "t", {"m.py": b"a = 1\n"})
+    before = code_fingerprint(root)
+    (root / "m.py").write_bytes(b"a = 2\n")
+    clear_fingerprint_cache()
+    assert code_fingerprint(root) != before
+
+
+def test_added_file_and_renamed_file_change_fingerprint(tmp_path):
+    root = _tree(tmp_path / "t", {"m.py": b"a = 1\n"})
+    base = code_fingerprint(root)
+
+    (root / "extra.py").write_bytes(b"")
+    clear_fingerprint_cache()
+    with_extra = code_fingerprint(root)
+    assert with_extra != base
+
+    # Same contents under a different path is different code: the
+    # path/content pairs are NUL-delimited into the hash.
+    (root / "extra.py").unlink()
+    (root / "other.py").write_bytes(b"")
+    clear_fingerprint_cache()
+    assert code_fingerprint(root) not in (base, with_extra)
+
+
+def test_non_python_files_are_ignored(tmp_path):
+    root = _tree(tmp_path / "t", {"m.py": b"a = 1\n"})
+    base = code_fingerprint(root)
+    (root / "notes.md").write_bytes(b"irrelevant")
+    (root / "__pycache__").mkdir()
+    (root / "data.pyc").write_bytes(b"\x00")
+    clear_fingerprint_cache()
+    assert code_fingerprint(root) == base
+
+
+def test_fingerprint_is_memoized_per_root(tmp_path):
+    root = _tree(tmp_path / "t", {"m.py": b"a = 1\n"})
+    first = code_fingerprint(root)
+    # Without clearing the memo, a source edit is (deliberately) not seen:
+    # one process never races its own code changes.
+    (root / "m.py").write_bytes(b"a = 99\n")
+    assert code_fingerprint(root) == first
+    clear_fingerprint_cache()
+    assert code_fingerprint(root) != first
+
+
+def test_default_root_is_the_repro_package():
+    # Smoke: hashing the live source tree works and is stable in-process.
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
