@@ -36,11 +36,16 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..calibration import DISK_BANDWIDTH_BYTES_PER_S
 from ..core.config import MultiRingConfig
 from ..core.deployment import MultiRingPaxos
 from ..sim.faults import NetworkPartition
 from ..sim.loss import TunableLoss
-from .generator import generate_schedule, topology_of
+from ..smr.kvstore import KeyValueStore
+from ..smr.partitioning import RangePartitioner
+from ..smr.replica import Replica
+from ..smr.statemachine import Command
+from .generator import Topology, generate_schedule, topology_of
 from .oracles import OracleViolation, SafetyOracles
 from .schedule import Schedule, ScheduleRunner
 
@@ -79,6 +84,9 @@ class CaseConfig:
     messages_per_proposer: int = 40
     value_size: int = 2048
     duration: float = 1.5
+    profile: str = "default"
+    replicas: int = 0
+    checkpoint_interval: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -94,6 +102,9 @@ class CaseConfig:
             "messages_per_proposer": self.messages_per_proposer,
             "value_size": self.value_size,
             "duration": self.duration,
+            "profile": self.profile,
+            "replicas": self.replicas,
+            "checkpoint_interval": self.checkpoint_interval,
         }
 
     @classmethod
@@ -101,7 +112,7 @@ class CaseConfig:
         return cls(**data)
 
 
-def draw_config(rng: random.Random) -> CaseConfig:
+def draw_config(rng: random.Random, profile: str = "default") -> CaseConfig:
     """Draw a deployment + workload configuration from ``rng``.
 
     Small enough to simulate in well under a second, varied enough to
@@ -109,6 +120,13 @@ def draw_config(rng: random.Random) -> CaseConfig:
     light and skip-heavy rings. Every group gets at least one subscribed
     learner (otherwise liveness would be vacuous for it), and multi-group
     deployments always include at least one merging learner.
+
+    The default profile's draw sequence is frozen — corpus seeds in the
+    regression suite must keep reproducing the same cases. Profile
+    ``"restart-heavy"`` draws the same base and then, from *additional*
+    rng draws, biases toward durable acceptors and adds checkpointing
+    replicas (two per partition, so the replica-order oracle has pairs
+    to compare).
     """
     n_groups = rng.randint(1, 3)
     n_learners = rng.randint(2, 3)
@@ -126,7 +144,7 @@ def draw_config(rng: random.Random) -> CaseConfig:
         subs = learners[rng.randrange(n_learners)]
         subs.append(next(g for g in range(n_groups) if g not in subs))
         subs.sort()
-    return CaseConfig(
+    config = CaseConfig(
         n_groups=n_groups,
         acceptors_per_ring=rng.choice([2, 2, 3]),
         durable=rng.random() < 0.2,
@@ -140,6 +158,19 @@ def draw_config(rng: random.Random) -> CaseConfig:
         value_size=rng.choice([512, 2048, 8192]),
         duration=1.5,
     )
+    if profile == "restart-heavy":
+        config.profile = profile
+        config.durable = rng.random() < 0.6
+        if config.n_groups == 1:
+            # Replicas need a partition group plus g_all; existing learner
+            # subscriptions (all within group 0) stay valid.
+            config.n_groups = 2
+        n_partitions = config.n_groups - 1
+        config.replicas = 2 * n_partitions
+        config.checkpoint_interval = rng.choice([4, 8, 16])
+    elif profile != "default":
+        raise ValueError(f"unknown fuzz profile {profile!r}")
+    return config
 
 
 @dataclass(slots=True)
@@ -171,36 +202,119 @@ def _build(config: CaseConfig):
     )
     mrp.network.loss = partition
     oracles = SafetyOracles().attach(mrp.sim)
+    # Plain learners first: schedule targets index mrp.learners, and
+    # replica-owned learners (appended by Replica below) must not shift
+    # the indices the default-profile corpus schedules were drawn for.
     learners = [mrp.add_learner(groups=list(subs)) for subs in config.learners]
     proposers = [mrp.add_proposer() for _ in range(config.n_proposers)]
-    return mrp, partition, loss, oracles, learners, proposers
+    replicas = []
+    if config.replicas:
+        partitioner = RangePartitioner(max(1, config.n_groups - 1))
+        for i in range(config.replicas):
+            replicas.append(
+                Replica(
+                    mrp,
+                    partitioner,
+                    partition=i % partitioner.n_partitions,
+                    state_machine=KeyValueStore(),
+                    name=f"fz-replica{i}",
+                    respond=False,
+                    checkpoint_interval=config.checkpoint_interval,
+                    disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S,
+                )
+            )
+    return mrp, partition, loss, oracles, learners, proposers, replicas
 
 
 def _install_workload(config: CaseConfig, mrp: MultiRingPaxos, proposers) -> None:
     """Schedule the client traffic: uniform submission times over the
     first 80% of the run, groups drawn per message. Reproduced exactly
-    from ``workload_seed`` on replay."""
+    from ``workload_seed`` on replay.
+
+    Replica cases carry :class:`~repro.smr.statemachine.Command` payloads
+    instead of opaque strings — mostly single-key inserts to a partition
+    group, with an occasional all-partition range query through g_all —
+    so checkpointed state machines actually accumulate state to restore.
+    """
     wrng = random.Random(config.workload_seed)
     window = 0.8 * config.duration
+    partitioner = RangePartitioner(max(1, config.n_groups - 1)) if config.replicas else None
     for pi, proposer in enumerate(proposers):
         for i in range(config.messages_per_proposer):
             t = 0.02 + wrng.random() * window
-            group = wrng.randrange(config.n_groups)
-            mrp.sim.at(t, proposer.multicast, group, f"p{pi}-m{i}", config.value_size)
+            if partitioner is None:
+                group = wrng.randrange(config.n_groups)
+                payload: object = f"p{pi}-m{i}"
+            elif wrng.random() < 0.15:
+                group = partitioner.all_group
+                payload = Command(op="query", args=(0, partitioner.key_space - 1),
+                                  req_id=i, padding=config.value_size)
+            else:
+                key = wrng.randrange(partitioner.key_space)
+                group = partitioner.group_of_key(key)
+                payload = Command(op="insert", args=(key,),
+                                  req_id=i, padding=config.value_size)
+            mrp.sim.at(t, proposer.multicast, group, payload, config.value_size)
 
 
-def _undelivered(config: CaseConfig, oracles: SafetyOracles, learners) -> dict[str, list]:
+def _undelivered(
+    config: CaseConfig, oracles: SafetyOracles, learners, replicas=()
+) -> dict[str, list]:
     """Messages each learner still owes: proposed to a subscribed group
-    but not yet delivered. Empty dict == liveness satisfied."""
+    but not yet delivered. Replica-owned learners owe the messages of
+    their subscription ({g_i, g_all}) like any other learner. Empty
+    dict == liveness satisfied."""
     proposed = oracles.proposed_messages
+    owed = [(learner.name, subs) for subs, learner in zip(config.learners, learners)]
+    owed += [
+        (replica.learner.name, replica.partitioner.groups_for_replica(replica.partition))
+        for replica in replicas
+    ]
     missing: dict[str, list] = {}
-    for subs, learner in zip(config.learners, learners):
+    for name, subs in owed:
         want = [m for m in proposed if m[2] in subs]
-        have = oracles.delivered_by(learner.name)
+        have = oracles.delivered_by(name)
         miss = [m for m in want if m not in have]
         if miss:
-            missing[learner.name] = miss
+            missing[name] = miss
     return missing
+
+
+def _restart_laggards(
+    runner: ScheduleRunner, frontiers: dict[int, int], accept_base: dict[str, float]
+) -> dict[str, str]:
+    """Restarted roles whose recovery has not converged yet.
+
+    A restarted learner (or checkpoint-restored replica) converges when
+    every subscribed ring learner has caught up to the ring's decided
+    frontier as of the forced heal. A restarted acceptor converges when
+    it accepts again (its ``accepts`` counter moves past the heal-time
+    baseline — λ-skips guarantee ring traffic). Coordinators and
+    proposers keep volatile state across restarts and need no recovery,
+    and the plain liveness check already covers them.
+    """
+    lag: dict[str, str] = {}
+    for target in sorted(runner.restarted):
+        role = runner.resolve(target)
+        if role is None or role.crashed:
+            continue
+        kind = target.partition(":")[0]
+        if kind in ("learner", "replica"):
+            learner = role.learner if kind == "replica" else role
+            for ring_id, frontier in sorted(frontiers.items()):
+                ring_learner = learner.ring_learners.get(ring_id)
+                if ring_learner is not None and ring_learner.next_instance < frontier:
+                    lag[target] = (
+                        f"ring {ring_id} position {ring_learner.next_instance} "
+                        f"below the heal-time decided frontier {frontier}"
+                    )
+                    break
+        elif kind == "acceptor" and target in accept_base:
+            if role.accepts.value <= accept_base[target]:
+                lag[target] = (
+                    f"no accepts since restart (stuck at {role.accepts.value:g})"
+                )
+    return lag
 
 
 def run_case(
@@ -209,38 +323,69 @@ def run_case(
     schedule: Schedule | None = None,
     grace: float = 6.0,
     duration: float | None = None,
+    profile: str = "default",
 ) -> CaseResult:
     """Run one fuzz case to a verdict; never raises on a violation.
 
-    With only ``seed``, the configuration and schedule are drawn from it.
-    Passing ``config``/``schedule`` explicitly pins them (replay and
-    shrinking). ``grace`` bounds the liveness wait after the forced heal;
-    the run stops early once every owed message is delivered.
+    With only ``seed``, the configuration and schedule are drawn from it
+    (``profile`` selects the config/schedule mix, and travels inside the
+    config so replays reproduce it). Passing ``config``/``schedule``
+    explicitly pins them (replay and shrinking). ``grace`` bounds the
+    liveness wait after the forced heal; the run stops early once every
+    owed message is delivered and every restarted role has recovered.
     """
     rng = random.Random(seed)
     if config is None:
-        config = draw_config(rng)
+        config = draw_config(rng, profile=profile)
     if duration is not None:
         config.duration = duration
-    mrp, partition, loss, oracles, learners, proposers = _build(config)
+    mrp, partition, loss, oracles, learners, proposers, replicas = _build(config)
     if schedule is None:
-        schedule = generate_schedule(rng, topology_of(mrp), config.duration)
-    runner = ScheduleRunner(mrp, partition, loss).install(schedule)
+        topology = topology_of(mrp)
+        if replicas:
+            topology = Topology(
+                crash_targets=topology.crash_targets
+                + tuple(f"replica:{i}" for i in range(len(replicas))),
+                nodes=topology.nodes,
+            )
+        schedule = generate_schedule(rng, topology, config.duration, config.profile)
+    extra_roles = {f"replica:{i}": replica for i, replica in enumerate(replicas)}
+    runner = ScheduleRunner(mrp, partition, loss, extra_roles=extra_roles).install(schedule)
     _install_workload(config, mrp, proposers)
     try:
         mrp.run(until=config.duration)
         # Epilogue, outside the shrinkable schedule: whatever the faults
         # did, the network is made whole before liveness is judged.
         runner.heal_everything()
+        # Liveness-after-restart baselines: every ring's decided frontier
+        # and every restarted acceptor's accept count, as of the heal.
+        frontiers = oracles.ring_frontiers()
+        accept_base = {
+            target: role.accepts.value
+            for target in runner.restarted
+            if target.startswith("acceptor:")
+            and (role := runner.resolve(target)) is not None
+        }
         deadline = config.duration + grace
         now = mrp.sim.now
         while True:
             now = min(now + 0.5, deadline)
             mrp.run(until=now)
-            missing = _undelivered(config, oracles, learners)
-            if not missing:
+            missing = _undelivered(config, oracles, learners, replicas)
+            laggards = _restart_laggards(runner, frontiers, accept_base)
+            if not missing and not laggards:
                 break
             if now >= deadline:
+                if laggards:
+                    target, why = next(iter(sorted(laggards.items())))
+                    raise OracleViolation(
+                        "liveness-after-restart",
+                        f"{len(laggards)} restarted role(s) not recovered "
+                        f"{grace:g}s after heal (e.g. {target}: {why})",
+                        time=mrp.sim.now,
+                        source=target,
+                        context={"laggards": dict(sorted(laggards.items()))},
+                    )
                 learner, owed = next(iter(sorted(missing.items())))
                 raise OracleViolation(
                     "liveness",
@@ -337,6 +482,11 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                         help="base seed; case i runs with seed+i (default 0)")
     parser.add_argument("--duration", type=float, default=None,
                         help="override the per-case fault/workload window (s)")
+    parser.add_argument("--profile", default="default",
+                        choices=("default", "restart-heavy"),
+                        help="fault/config mix: 'default' (balanced) or "
+                             "'restart-heavy' (crash/restart churn with "
+                             "checkpointing replicas)")
     parser.add_argument("--grace", type=float, default=6.0,
                         help="liveness grace after forced heal (simulated s)")
     parser.add_argument("--out", default="fuzz-failures",
@@ -384,7 +534,8 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     specs = [
         Spec(
             fn="repro.check.driver:run_case",
-            kwargs={"seed": args.seed + i, "grace": args.grace, "duration": args.duration},
+            kwargs={"seed": args.seed + i, "grace": args.grace,
+                    "duration": args.duration, "profile": args.profile},
             label=f"fuzz:seed{args.seed + i}",
         )
         for i in range(args.runs)

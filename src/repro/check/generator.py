@@ -76,10 +76,23 @@ def _phase_windows(
 
 
 def generate_schedule(
-    rng: random.Random, topology: Topology, duration: float
+    rng: random.Random, topology: Topology, duration: float, profile: str = "default"
 ) -> Schedule:
-    """Draw a random fault schedule for a run of ``duration`` seconds."""
+    """Draw a random fault schedule for a run of ``duration`` seconds.
+
+    ``profile`` selects the fault mix. ``"default"`` is the original
+    balanced blend; its rng consumption is frozen — corpus seeds must
+    keep reproducing byte-identical schedules. ``"restart-heavy"`` draws
+    from a separate branch (free to evolve): several short crash/restart
+    pairs, every crash restarted on-schedule, aimed at the recovery
+    paths — durable-acceptor replay, learner catch-up, checkpoint
+    restore.
+    """
     lo, hi = 0.05 * duration, 0.85 * duration
+    if profile == "restart-heavy":
+        return _restart_heavy_schedule(rng, topology, duration, lo, hi)
+    if profile != "default":
+        raise ValueError(f"unknown schedule profile {profile!r}")
     steps: list[ScheduleStep] = []
 
     # Crash episodes: each picks a role; most get a restart, some stay
@@ -121,5 +134,39 @@ def generate_schedule(
         t = rng.uniform(lo, 0.5 * (lo + hi))
         steps.append(ScheduleStep(t, "crash", target=target))
         steps.append(ScheduleStep(min(t + 0.2 * duration, hi), "restart", target=target))
+
+    return Schedule(steps)
+
+
+def _restart_heavy_schedule(
+    rng: random.Random, topology: Topology, duration: float, lo: float, hi: float
+) -> Schedule:
+    """The restart-heavy mix: crash/restart churn, little else.
+
+    Every crashed role comes back while the run is still live (short
+    downtimes), so recovery — not mere fail-stop tolerance — is what the
+    oracles observe: restarted durable acceptors must answer from their
+    replayed log, restarted learners must pull the missed suffix, and
+    restarted replicas must reload a checkpoint and replay forward.
+    A thin garnish of loss/partition windows keeps the recovery traffic
+    itself under fire some of the time.
+    """
+    steps: list[ScheduleStep] = []
+    for _ in range(rng.randint(2, 5)):
+        target = rng.choice(topology.crash_targets)
+        t = rng.uniform(lo, hi)
+        steps.append(ScheduleStep(t, "crash", target=target))
+        dt = rng.uniform(0.03, 0.15) * duration
+        steps.append(ScheduleStep(min(t + dt, hi), "restart", target=target))
+
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        steps.append(ScheduleStep(start, "loss", p=round(rng.uniform(0.01, 0.15), 4)))
+        steps.append(ScheduleStep(end, "loss_end"))
+
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        k = rng.randint(1, max(1, len(topology.nodes) // 2))
+        island = tuple(sorted(rng.sample(list(topology.nodes), k)))
+        steps.append(ScheduleStep(start, "partition", island=island))
+        steps.append(ScheduleStep(end, "heal"))
 
     return Schedule(steps)

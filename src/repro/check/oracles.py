@@ -25,6 +25,15 @@ simulation events, and therefore never perturb a run — an instrumented
 simulation stays bit-for-bit identical to a bare one. Point-in-time
 violations raise :class:`OracleViolation` immediately, from inside the
 event that caused them, with enough context to replay the run.
+
+Crash recovery makes replay legitimate: a restarted replica rolls its
+learner back to a checkpoint and re-executes the suffix. The recovery
+probes (``learner.rollback``, ``learner.rewind``, ``replica.restore``)
+tell the oracles to rewind their logs to the same point, so the replayed
+suffix is re-checked — against the agreement fingerprints recorded the
+first time around, which a diverging replay would trip immediately. A
+rollback may never move *forward*: that would let a learner skip the
+very instances the oracles are watching.
 """
 
 from __future__ import annotations
@@ -36,8 +45,11 @@ from ..errors import ReproError
 from ..obs.probe import (
     LEARNER_DECIDE,
     LEARNER_DELIVER,
+    LEARNER_REWIND,
+    LEARNER_ROLLBACK,
     PROPOSER_MULTICAST,
     REPLICA_APPLY,
+    REPLICA_RESTORE,
     ProbeBus,
     ProbeEvent,
 )
@@ -106,6 +118,8 @@ class SafetyOracles:
         self._delivered: dict[str, set[tuple[str, int, int]]] = {}
         # (partition, replica process name) -> ordered apply log.
         self._apply_log: dict[tuple[int, str], list[tuple[str, int, str]]] = {}
+        # ring id -> highest decided logical frontier any learner reached.
+        self._ring_frontier: dict[int, int] = {}
         self.events_checked = 0
 
     # ------------------------------------------------------------------
@@ -124,6 +138,9 @@ class SafetyOracles:
         bus.subscribe(self._on_decide, kind=LEARNER_DECIDE)
         bus.subscribe(self._on_deliver, kind=LEARNER_DELIVER)
         bus.subscribe(self._on_apply, kind=REPLICA_APPLY)
+        bus.subscribe(self._on_rollback, kind=LEARNER_ROLLBACK)
+        bus.subscribe(self._on_rewind, kind=LEARNER_REWIND)
+        bus.subscribe(self._on_restore, kind=REPLICA_RESTORE)
         return self
 
     # ------------------------------------------------------------------
@@ -164,6 +181,9 @@ class SafetyOracles:
                 context={"ring": ring, "instance": instance, "expected": expected},
             )
         self._next_instance[ev.source] = instance + ev.data["count"]
+        frontier = instance + ev.data["count"]
+        if frontier > self._ring_frontier.get(ring, 0):
+            self._ring_frontier[ring] = frontier
 
     def _on_deliver(self, ev: ProbeEvent) -> None:
         self.events_checked += 1
@@ -199,6 +219,59 @@ class SafetyOracles:
         self._apply_log.setdefault(key, []).append(
             (ev.data["client"], ev.data["req_id"], ev.data["op"])
         )
+
+    # ------------------------------------------------------------------
+    # Recovery events: rewind the logs to the restored checkpoint
+    # ------------------------------------------------------------------
+    def _on_rollback(self, ev: ProbeEvent) -> None:
+        """A ring learner rewound its decide position (replica recovery)."""
+        self.events_checked += 1
+        instance = ev.data["instance"]
+        expected = self._next_instance.get(ev.source, 0)
+        if instance > expected:
+            raise OracleViolation(
+                "ring-order",
+                f"rollback to instance {instance} skips past the decided "
+                f"position {expected}",
+                time=ev.time,
+                source=ev.source,
+                context={"instance": instance, "expected": expected},
+            )
+        self._next_instance[ev.source] = instance
+        # The replayed suffix re-enters _on_decide and is re-checked
+        # against the agreement fingerprints recorded the first time.
+
+    def _on_rewind(self, ev: ProbeEvent) -> None:
+        """A multi-ring learner rewound its merged delivery sequence."""
+        self.events_checked += 1
+        count = ev.data["delivered"]
+        log = self._delivery_log.get(ev.source, [])
+        if count > len(log):
+            raise OracleViolation(
+                "integrity",
+                f"rewind to delivery {count} but only {len(log)} were delivered",
+                time=ev.time,
+                source=ev.source,
+                context={"count": count, "delivered": len(log)},
+            )
+        del log[count:]
+        self._delivered[ev.source] = set(log)
+
+    def _on_restore(self, ev: ProbeEvent) -> None:
+        """A replica reloaded a checkpoint: truncate its apply log to it."""
+        self.events_checked += 1
+        count = ev.data["applied"]
+        log = self._apply_log.get((ev.data["partition"], ev.source), [])
+        if count > len(log):
+            raise OracleViolation(
+                "replica-order",
+                f"checkpoint claims {count} applied commands but only "
+                f"{len(log)} were observed",
+                time=ev.time,
+                source=ev.source,
+                context={"count": count, "applied": len(log)},
+            )
+        del log[count:]
 
     # ------------------------------------------------------------------
     # Whole-history checks
@@ -263,6 +336,15 @@ class SafetyOracles:
     def delivery_count(self, learner: str) -> int:
         """Number of messages a learner has delivered."""
         return len(self._delivery_log.get(learner, ()))
+
+    def ring_frontiers(self) -> dict[int, int]:
+        """Highest decided logical frontier any learner reached, per ring.
+
+        The liveness-after-restart check snapshots this at heal time:
+        every restarted learner must re-reach these positions within the
+        grace window.
+        """
+        return dict(self._ring_frontier)
 
 
 @contextmanager

@@ -145,6 +145,17 @@ class ScheduleRunner:
         The partition object and tunable loss the deployment's network
         was built with (the fuzz driver stacks
         ``NetworkPartition(..., underlying=TunableLoss())``).
+    extra_roles:
+        Additional crashable roles living above the ordering layer,
+        keyed by target name (e.g. ``"replica:0"`` -> a
+        :class:`~repro.smr.replica.Replica`). Anything with ``crash`` /
+        ``restart`` / ``crashed`` / ``node`` qualifies.
+
+    The runner records every target it *actually* brought back from a
+    crash — scheduled restarts and the :meth:`heal_everything` epilogue
+    alike — in :attr:`restarted`. The driver's liveness-after-restart
+    check reads that set: those are exactly the roles whose recovery
+    path ran and must therefore converge.
     """
 
     def __init__(
@@ -152,10 +163,13 @@ class ScheduleRunner:
         mrp: "MultiRingPaxos",
         partition: NetworkPartition,
         loss: TunableLoss,
+        extra_roles: dict[str, object] | None = None,
     ) -> None:
         self.mrp = mrp
         self.partition = partition
         self.loss = loss
+        self.extra_roles: dict[str, object] = dict(extra_roles or {})
+        self.restarted: set[str] = set()
         self.faults = FaultSchedule(mrp.sim)
         self._base_delay = mrp.network.propagation_delay
         self._base_disk_rates = {
@@ -202,39 +216,64 @@ class ScheduleRunner:
     # ------------------------------------------------------------------
     # Step actions
     # ------------------------------------------------------------------
+    def resolve(self, target: str):
+        """The live role object a target names, or None if it is gone.
+
+        Targets: ``coordinator:R`` (the ring's *current* coordinator),
+        ``acceptor:R:I``, ``learner:I``, ``proposer:I``, plus anything
+        in ``extra_roles``. A target that no longer resolves — an
+        acceptor index vacated by a reconfiguration — yields None.
+        """
+        role = self.extra_roles.get(target)
+        if role is not None:
+            return role
+        kind, _, rest = target.partition(":")
+        try:
+            if kind == "coordinator":
+                return self.mrp.rings[int(rest)].coordinator
+            if kind == "acceptor":
+                ring_s, _, index_s = rest.partition(":")
+                return self.mrp.rings[int(ring_s)].acceptors[int(index_s)]
+            if kind == "learner":
+                return self.mrp.learners[int(rest)]
+            if kind == "proposer":
+                return self.mrp.proposers[int(rest)]
+        except (IndexError, KeyError):
+            return None
+        raise ConfigurationError(f"unknown schedule target {target!r}")
+
     def _role_action(self, action: str, target: str) -> None:
         """Crash or restart the role ``target`` names, as of *now*.
 
         Both operations are idempotent (crashing a crashed process or
         restarting a running one is a no-op), so generated schedules never
-        need global coordination. A target that no longer resolves — an
-        acceptor index vacated by a reconfiguration — is skipped: the
-        schedule stays applicable to whatever the deployment has become.
+        need global coordination. A target that no longer resolves is
+        skipped: the schedule stays applicable to whatever the deployment
+        has become.
         """
         kind, _, rest = target.partition(":")
-        try:
-            if kind == "coordinator":
+        if kind == "coordinator" and target not in self.extra_roles:
+            try:
                 ring = int(rest)
-                if action == "crash":
-                    self.mrp.crash_coordinator(ring)
-                else:
-                    self.mrp.restart_coordinator(ring)
+                handle = self.mrp.rings[ring]
+            except (KeyError, ValueError):
                 return
-            if kind == "acceptor":
-                ring_s, _, index_s = rest.partition(":")
-                role = self.mrp.rings[int(ring_s)].acceptors[int(index_s)]
-            elif kind == "learner":
-                role = self.mrp.learners[int(rest)]
-            elif kind == "proposer":
-                role = self.mrp.proposers[int(rest)]
+            if action == "crash":
+                self.mrp.crash_coordinator(ring)
             else:
-                raise ConfigurationError(f"unknown schedule target {target!r}")
-        except (IndexError, KeyError):
+                if handle.coordinator.crashed:
+                    self.restarted.add(target)
+                self.mrp.restart_coordinator(ring)
+            return
+        role = self.resolve(target)
+        if role is None:
             return
         if action == "crash":
             role.crash()
             role.node.crash()
         else:
+            if role.crashed:
+                self.restarted.add(target)
             role.node.restart()
             role.restart()
 
@@ -262,10 +301,25 @@ class ScheduleRunner:
         self._set_delay(1.0)
         self._scale_disks(1.0)
         for ring_id, handle in self.mrp.rings.items():
-            for acceptor in handle.acceptors:
+            for i, acceptor in enumerate(handle.acceptors):
+                if acceptor.crashed:
+                    self.restarted.add(f"acceptor:{ring_id}:{i}")
                 acceptor.node.restart()
                 acceptor.restart()
+            if handle.coordinator.crashed:
+                self.restarted.add(f"coordinator:{ring_id}")
             self.mrp.restart_coordinator(ring_id)
-        for role in (*self.mrp.learners, *self.mrp.proposers):
+        # Extra roles first: a crashed replica must restore its checkpoint
+        # (which rolls its learner back while still crashed) before the
+        # learner sweep below would revive that learner in place.
+        for target, role in self.extra_roles.items():
+            if role.crashed:
+                self.restarted.add(target)
             role.node.restart()
             role.restart()
+        for kind, roles in (("learner", self.mrp.learners), ("proposer", self.mrp.proposers)):
+            for i, role in enumerate(roles):
+                if role.crashed:
+                    self.restarted.add(f"{kind}:{i}")
+                role.node.restart()
+                role.restart()

@@ -95,6 +95,7 @@ class MultiRingPaxos:
             batch_size=cfg.batch_size,
             batch_timeout=cfg.batch_timeout,
             window=cfg.window,
+            suspect_timeout=cfg.suspect_timeout,
         )
         nodes = []
         for name in acc_names:
@@ -144,7 +145,6 @@ class MultiRingPaxos:
                 ring_config,
                 acceptors,
                 spare_nodes=spares,
-                suspect_timeout=cfg.suspect_timeout,
                 on_new_coordinator=(
                     lambda coord, ring_id=ring_id: self._on_ring_failover(ring_id, coord)
                 ),
@@ -165,14 +165,20 @@ class MultiRingPaxos:
         groups: list[int],
         on_deliver: Callable[[int, ClientValue], None] | None = None,
         name: str | None = None,
+        disk_bandwidth: float | None = None,
     ) -> MultiRingLearner:
-        """Attach a new learner node subscribed to ``groups``."""
+        """Attach a new learner node subscribed to ``groups``.
+
+        ``disk_bandwidth`` gives the learner's node a disk — needed when
+        the learner backs a checkpointing replica, whose snapshot writes
+        are billed against it.
+        """
         for gid in groups:
             if gid not in self.registry:
                 raise ConfigurationError(f"unknown group {gid}")
         if name is None:
             name = f"mr-lrn{self._learner_count}"
-        node = Node(self.sim, name)
+        node = Node(self.sim, name, disk_bandwidth=disk_bandwidth)
         self.network.add_node(node)
         learner = MultiRingLearner(
             self.sim,

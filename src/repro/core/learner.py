@@ -80,6 +80,11 @@ class MultiRingLearner(Process):
         self.delivered_messages = self.metrics.counter("delivered_messages")
         self.delivered_bytes = self.metrics.counter("delivered_bytes")
         self.discarded_messages = self.metrics.counter("discarded_messages")
+        # Logical position in the merged delivery sequence. Unlike the
+        # cumulative counter above, it is rewound by ``restore_state`` and
+        # so always equals the index of the next delivery — checkpoints
+        # record it, and the oracles use it to truncate their logs.
+        self.delivered_log_count = 0
         self.latency = self.metrics.histogram("delivery_latency")
         self.delivery_series = self.metrics.series(
             "delivered_bytes_per_s", bucket_width=series_bucket
@@ -140,6 +145,7 @@ class MultiRingLearner(Process):
             return
         now = self.sim.now
         self.delivered_messages.inc()
+        self.delivered_log_count += 1
         self.delivered_bytes.inc(value.size)
         self.delivery_series.record(now, value.size)
         self.group_bytes[value.group].inc(value.size)
@@ -187,3 +193,41 @@ class MultiRingLearner(Process):
     def on_restart(self) -> None:
         for learner in self.ring_learners.values():
             learner.restart()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (replica crash-recovery)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume merged delivery from this point.
+
+        Captured between deliveries (the replica checkpoints after fully
+        applying a command), so per-ring positions plus the merge cursor
+        describe the delivery sequence position exactly.
+        """
+        return {
+            "ring_positions": {
+                ring_id: rl.next_instance for ring_id, rl in self.ring_learners.items()
+            },
+            "merge": self.merge.snapshot(),
+            "delivered": self.delivered_log_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a checkpoint; the suffix replays via normal decides.
+
+        Call while the learner (and its ring learners) are still crashed:
+        rollback touches only positions, and the subsequent ``restart``
+        triggers each ring learner's catch-up from the rolled-back
+        position. The ``learner.rewind`` probe tells the oracles to
+        truncate this learner's merged-delivery log to the checkpoint.
+        """
+        for ring_id, rl in self.ring_learners.items():
+            rl.rollback_to(state["ring_positions"][ring_id])
+        self.merge.restore(state["merge"])
+        self.delivered_log_count = state["delivered"]
+        probe = self.sim.probe
+        if probe is not None and probe.wants("learner.rewind"):
+            probe.emit(
+                "learner.rewind", self.sim.now, self.name,
+                node=self.node.name, delivered=state["delivered"],
+            )

@@ -158,6 +158,31 @@ class DeterministicMerge:
         self._cursor = (self._cursor + 1) % len(self.ring_order)
         self._quota = self.m
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[int, int]:
+        """The merge position — (cursor, remaining quota) — for a checkpoint.
+
+        Positions between deliveries are fully described by these two
+        values: the per-ring input positions live in the ring learners,
+        and buffered items are recovered by replaying the rings.
+        """
+        return (self._cursor, self._quota)
+
+    def restore(self, state: tuple[int, int]) -> None:
+        """Rewind to a checkpointed position, discarding buffered items.
+
+        The owning learner rolls its ring learners back to the matching
+        per-ring positions; everything buffered here will be replayed
+        through ``push`` in the same order, so the queues start empty.
+        """
+        self._cursor, self._quota = state
+        for ring_id, queue in self._queues.items():
+            queue.clear()
+            self.queue_gauges[ring_id].set(0)
+        self.buffered_instances.set(0)
+
     def _halt(self, now: float) -> None:
         self.halted = True
         self.halted_at = now

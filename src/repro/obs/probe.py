@@ -16,8 +16,14 @@ events the simulated substrate can emit:
   instance order (data batch or skip range, with a content fingerprint);
 * ``learner.deliver`` — a multi-ring learner delivered an application
   message in merged order;
+* ``learner.rollback`` — a ring learner rewound its decide position to a
+  checkpoint (crash recovery);
+* ``learner.rewind`` — a multi-ring learner rewound its merged delivery
+  sequence to a checkpoint;
 * ``replica.apply`` — an SMR replica applied a command to its state
-  machine.
+  machine;
+* ``replica.restore`` — a restarted replica reloaded its latest durable
+  checkpoint.
 
 The protocol-level kinds exist for the safety oracles of ``repro.check``:
 passive checkers subscribe to them and verify agreement, integrity,
@@ -42,8 +48,11 @@ __all__ = [
     "NET_DELIVER",
     "NET_DROP",
     "NET_ENQUEUE",
+    "LEARNER_REWIND",
+    "LEARNER_ROLLBACK",
     "PROPOSER_MULTICAST",
     "REPLICA_APPLY",
+    "REPLICA_RESTORE",
     "SERVER_BUSY",
     "ProbeEvent",
     "ProbeBus",
@@ -57,7 +66,10 @@ SERVER_BUSY = "server.busy"
 PROPOSER_MULTICAST = "proposer.multicast"
 LEARNER_DECIDE = "learner.decide"
 LEARNER_DELIVER = "learner.deliver"
+LEARNER_ROLLBACK = "learner.rollback"
+LEARNER_REWIND = "learner.rewind"
 REPLICA_APPLY = "replica.apply"
+REPLICA_RESTORE = "replica.restore"
 
 
 @dataclass(frozen=True, slots=True)

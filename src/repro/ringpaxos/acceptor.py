@@ -35,6 +35,9 @@ from ..sim.node import Node
 from ..sim.process import Process, Timer
 from .config import RingConfig
 from .messages import (
+    CatchupReply,
+    CatchupRequest,
+    CheckpointAck,
     CoordinatorChange,
     DataBatch,
     DecisionAnnounce,
@@ -90,6 +93,11 @@ class RingAcceptor(Process):
         self.accepts = self.metrics.counter("accepts")
         self.forwards = self.metrics.counter("forwards")
         self.repairs_served = self.metrics.counter("repairs_served")
+        self.catchups_served = self.metrics.counter("catchups_served")
+        self.recoveries = self.metrics.counter("recoveries")
+        self.recovered_instances = self.metrics.gauge("recovered_instances")
+        self.truncations = self.metrics.counter("truncations")
+        self.truncated_below = self.metrics.gauge("truncated_below")
         self.parked_depth = self.metrics.gauge("parked_phase2b")
         self._forwarded: set[tuple[int, int]] = set()
         self._parked_2b: dict[int, Phase2B] = {}
@@ -104,6 +112,9 @@ class RingAcceptor(Process):
         self.state_retention = state_retention
         self._gc_horizon = 0
         self._max_decided_seen = -1
+        self._decided_frontier = 0
+        self._ckpt_watermarks: dict[str, int] = {}
+        self._truncate_bound = -1
         network.join(config.multicast_group, node.name)
         node.register(config.mcast_port, self._on_mcast)
         node.register(config.ring_port, self._on_ring)
@@ -145,6 +156,7 @@ class RingAcceptor(Process):
                 return
             state.rnd = msg.rnd
             state.vrnd = msg.rnd
+            state.vval = msg.item
             self._vids_by_instance_note(msg.instance, value_id)
             self.accepts.inc()
             token = Phase2B(
@@ -203,6 +215,7 @@ class RingAcceptor(Process):
             return
         state.rnd = msg.rnd
         state.vrnd = msg.rnd
+        state.vval = item
         self._vids_by_instance_note(msg.instance, msg.value_id)
         self.accepts.inc()
         token = Phase2B(
@@ -242,11 +255,15 @@ class RingAcceptor(Process):
     def _on_decisions(self, decisions: tuple[tuple[int, int], ...]) -> None:
         for instance, value_id in decisions:
             self._max_decided_seen = max(self._max_decided_seen, instance)
+            if self._decided_frontier <= instance:
+                self._decided_frontier = instance + 1
             if instance in self._decided:
                 continue
             item = self.values.get(value_id)
             if item is None:
                 continue
+            if self._decided_frontier < instance + item.instance_count:
+                self._decided_frontier = instance + item.instance_count
             self._decided[instance] = item
             self._decided_order.append(instance)
             while len(self._decided_order) > self._decided_log_limit:
@@ -275,9 +292,14 @@ class RingAcceptor(Process):
         self._gc_horizon = horizon
 
     def _on_repair(self, src: str, msg) -> None:
-        if self.crashed or not isinstance(msg, RepairRequest):
+        if self.crashed:
             return
-        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._serve_repair, src, msg)
+        if isinstance(msg, RepairRequest):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._serve_repair, src, msg)
+        elif isinstance(msg, CatchupRequest):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._serve_catchup, src, msg)
+        elif isinstance(msg, CheckpointAck):
+            self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_checkpoint_ack, msg)
 
     def _serve_repair(self, src: str, msg: RepairRequest) -> None:
         if self.crashed:
@@ -300,6 +322,101 @@ class RingAcceptor(Process):
             self.node.name, src, f"rp{self.config.ring_id}.learner", reply, reply.size
         )
 
+    def _serve_catchup(self, src: str, msg: CatchupRequest) -> None:
+        """State transfer for a recovering learner.
+
+        Unlike a gap repair, a catch-up is always answered — even with no
+        items, the reply's frontier tells the learner how far behind it
+        still is (and an empty reply makes it rotate to another member).
+        """
+        if self.crashed:
+            return
+        items: list[DataBatch | SkipRange] = []
+        budget = 64 * 1024
+        cursor = msg.instance
+        for _ in range(min(msg.count, 256)):
+            item = self._decided.get(cursor)
+            if item is None or budget <= 0:
+                break
+            items.append(item)
+            budget -= item.size
+            cursor += item.instance_count
+        reply = CatchupReply(msg.instance, tuple(items), frontier=self._decided_frontier)
+        self.catchups_served.inc()
+        self.network.send(
+            self.node.name, src, f"rp{self.config.ring_id}.learner", reply, reply.size
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint-driven log truncation
+    # ------------------------------------------------------------------
+    def _on_checkpoint_ack(self, msg: CheckpointAck) -> None:
+        """Truncate the Paxos log below the replicas' common checkpoint.
+
+        Every replica's latest durable checkpoint watermark is tracked;
+        instances below the minimum are recoverable from a checkpoint at
+        every replica, so their consensus state can be forgotten. The
+        truncation bound only ever advances: a newly appearing replica
+        with a low first watermark lowers the minimum but never un-forgets.
+        """
+        if self.crashed or msg.ring_id != self.config.ring_id:
+            return
+        if msg.instance <= self._ckpt_watermarks.get(msg.replica, -1):
+            return
+        self._ckpt_watermarks[msg.replica] = msg.instance
+        bound = min(self._ckpt_watermarks.values()) - 1
+        if bound <= self._truncate_bound:
+            return
+        self._truncate_bound = bound
+        self.storage.forget_up_to(bound)
+        for key in [k for k in self._accepted_vids if k <= bound]:
+            del self._accepted_vids[key]
+        self.truncations.inc()
+        self.truncated_below.set(bound + 1)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        self.storage.on_crash()
+
+    def on_restart(self) -> None:
+        """Rebuild from storage: replay the promise floor and accepted log.
+
+        In Recoverable mode the durable image yields the highest promised
+        round and every accepted (instance, item) whose disk write had
+        acked — the restarted acceptor answers Phase 1 and parks back into
+        the ring with real state. In-memory mode recovers amnesiac, as a
+        RAM-only acceptor must. Volatile caches (parked tokens, decided
+        log, forward dedup) start empty either way.
+        """
+        floor, states = self.storage.recover()
+        self.promised_floor = floor
+        self.values = ValueStore()
+        self._accepted_vids = {}
+        self._forwarded = set()
+        self._parked_2b = {}
+        self.parked_depth.set(0)
+        self._decided = {}
+        self._decided_order.clear()
+        self._max_decided_seen = -1
+        self._decided_frontier = 0
+        self._gc_horizon = 0
+        self._ckpt_watermarks = {}
+        self._truncate_bound = -1
+        recovered = 0
+        for instance in sorted(states):
+            state = states[instance]
+            if state.vrnd < 0 or state.vval is None:
+                continue
+            item = state.vval
+            vid = item.value_id if isinstance(item, DataBatch) else -instance - 1
+            self.values.put(vid, item)
+            self._accepted_vids[instance] = vid
+            recovered += 1
+        self.recoveries.inc()
+        self.recovered_instances.set(recovered)
+
     # ------------------------------------------------------------------
     # Reconfiguration support (Phase 1 over an instance range)
     # ------------------------------------------------------------------
@@ -308,6 +425,7 @@ class RingAcceptor(Process):
         if self.crashed or msg.rnd <= self.promised_floor:
             return
         self.promised_floor = msg.rnd
+        self.storage.note_floor(msg.rnd)
         accepted: list[tuple[int, int, DataBatch | SkipRange]] = []
         for instance in self.storage.known_instances():
             if instance < msg.from_instance:
@@ -352,6 +470,7 @@ class RingAcceptor(Process):
         """
         if rnd > self.promised_floor:
             self.promised_floor = rnd
+            self.storage.note_floor(rnd)
         accepted: list[tuple[int, int, DataBatch | SkipRange]] = []
         for instance in self.storage.known_instances():
             if instance < from_instance:

@@ -47,6 +47,12 @@ class RingConfig:
     heartbeat_interval:
         Idle coordinators multicast a small heartbeat at this period (used
         for failure detection and learner liveness).
+    suspect_timeout:
+        How long an acceptor tolerates coordinator silence before
+        suspecting it and triggering failover (when a
+        :class:`~repro.ringpaxos.reconfig.RingFailover` watches the
+        ring). Must exceed the heartbeat interval, or a merely idle
+        coordinator would be suspected between beats.
     """
 
     ring_id: int
@@ -58,6 +64,7 @@ class RingConfig:
     retry_timeout: float = 0.02
     heartbeat_interval: float = 0.01
     repair_interval: float = 0.01
+    suspect_timeout: float = 0.05
     decision_flush_timeout: float = 100e-6
     piggyback_decisions: bool = True
     spares: list[str] = field(default_factory=list)
@@ -71,6 +78,11 @@ class RingConfig:
             raise ConfigurationError("ring acceptors must be distinct")
         if self.batch_size <= 0 or self.window <= 0:
             raise ConfigurationError("batch_size and window must be positive")
+        if self.suspect_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "suspect_timeout must exceed heartbeat_interval "
+                f"({self.suspect_timeout:g} <= {self.heartbeat_interval:g})"
+            )
 
     # ------------------------------------------------------------------
     # Derived names

@@ -40,6 +40,8 @@ from ..sim.process import Process, Timer
 from .batcher import Batcher
 from .config import RingConfig
 from .messages import (
+    CatchupReply,
+    CatchupRequest,
     ClientValue,
     CoordinatorChange,
     DataBatch,
@@ -409,10 +411,19 @@ class RingCoordinator(Process):
         self.network.send(self.node.name, src, self.config.mcast_port, reply, reply.size)
 
     def _on_repair_port(self, src: str, msg) -> None:
-        """Serve learner repairs from the coordinator's own decided log."""
-        if self.crashed or not isinstance(msg, RepairRequest):
+        """Serve learner repairs and catch-ups from the own decided log."""
+        if self.crashed:
             return
-        self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._serve_learner_repair, src, msg)
+        if isinstance(msg, RepairRequest):
+            self.node.cpu.execute(
+                CPU_FIXED_COST_SMALL_MESSAGE, self._serve_learner_repair, src, msg
+            )
+        elif isinstance(msg, CatchupRequest):
+            self.node.cpu.execute(
+                CPU_FIXED_COST_SMALL_MESSAGE, self._serve_learner_catchup, src, msg
+            )
+        # CheckpointAcks are an acceptor concern; the coordinator's decided
+        # log is already FIFO-bounded.
 
     def _serve_learner_repair(self, src: str, msg: RepairRequest) -> None:
         if self.crashed:
@@ -430,6 +441,25 @@ class RingCoordinator(Process):
         if not items:
             return
         reply = RepairReply(msg.instance, tuple(items))
+        self.network.send(
+            self.node.name, src, f"rp{self.config.ring_id}.learner", reply, reply.size
+        )
+
+    def _serve_learner_catchup(self, src: str, msg: CatchupRequest) -> None:
+        """Answer a recovering learner; the coordinator knows the true frontier."""
+        if self.crashed:
+            return
+        items: list[DataBatch | SkipRange] = []
+        budget = 64 * 1024
+        cursor = msg.instance
+        for _ in range(min(msg.count, 256)):
+            item = self._decided_log.get(cursor)
+            if item is None or budget <= 0:
+                break
+            items.append(item)
+            budget -= item.size
+            cursor += item.instance_count
+        reply = CatchupReply(msg.instance, tuple(items), frontier=self.next_instance)
         self.network.send(
             self.node.name, src, f"rp{self.config.ring_id}.learner", reply, reply.size
         )

@@ -31,9 +31,11 @@ from ..calibration import (
 from ..metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.node import Node
-from ..sim.process import PeriodicTimer, Process
+from ..sim.process import PeriodicTimer, Process, Timer
 from .config import RingConfig
 from .messages import (
+    CatchupReply,
+    CatchupRequest,
     ClientValue,
     CoordinatorChange,
     DataBatch,
@@ -104,6 +106,7 @@ class RingLearner(Process):
         self.received_bytes = self.metrics.counter("received_bytes")
         self.skipped_instances = self.metrics.counter("skipped_instances")
         self.repairs_requested = self.metrics.counter("repairs_requested")
+        self.catchups_requested = self.metrics.counter("catchups_requested")
         self.reorder_depth = self.metrics.gauge("reorder_buffered")
         self.latency = self.metrics.histogram("delivery_latency")
         self.delivery_series = self.metrics.series(
@@ -124,6 +127,13 @@ class RingLearner(Process):
         node.register(self._learner_port, self._on_learner_port)
         self._repair_timer = PeriodicTimer(sim, config.repair_interval, self._check_gaps)
         self._repair_timer.start()
+        # Catch-up (pull-based state transfer after a restart): a one-shot
+        # timer drives retries with exponential backoff; replies that make
+        # progress reset the backoff, timeouts rotate the target.
+        self._catchup_timer = Timer(sim, config.repair_interval, self._on_catchup_timeout)
+        self._catchup_backoff = config.repair_interval
+        self._catchup_attempts = 0
+        self._catching_up = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -201,11 +211,14 @@ class RingLearner(Process):
         self._last_repair_instance = -1
 
     def _on_learner_port(self, src: str, msg) -> None:
-        if self.crashed or not isinstance(msg, RepairReply):
+        if self.crashed or not isinstance(msg, (RepairReply, CatchupReply)):
             return
         total = sum(item.size for item in msg.items)
         cost = CPU_FIXED_COST_LEARNER + CPU_BYTE_COST_LEARNER * total
-        self.node.cpu.execute(cost, self._on_repair_reply, msg)
+        if isinstance(msg, CatchupReply):
+            self.node.cpu.execute(cost, self._on_catchup_reply, msg)
+        else:
+            self.node.cpu.execute(cost, self._on_repair_reply, msg)
 
     def _on_repair_reply(self, msg: RepairReply) -> None:
         if self.crashed:
@@ -297,8 +310,109 @@ class RingLearner(Process):
         self.repairs_requested.inc()
         self.network.send(self.node.name, target, self.config.repair_port, req, req.size)
 
+    # ------------------------------------------------------------------
+    # Catch-up: pull-based state transfer after a restart
+    # ------------------------------------------------------------------
+    def begin_catchup(self) -> None:
+        """Start pulling missed decisions until the frontier is reached.
+
+        The periodic gap repair only fires when a gap is *observable*; a
+        freshly restarted learner may be arbitrarily far behind with no
+        local evidence of it. Catch-up requests are answered even when the
+        target has nothing buffered — the reply's frontier bounds the
+        remaining gap — and retries back off exponentially while rotating
+        through the ring members, so a dead target delays recovery by at
+        most a few timeouts.
+        """
+        self._catching_up = True
+        self._catchup_backoff = self.config.repair_interval
+        self._catchup_attempts = 0
+        # Always probe at least once: the local frontier is stale after an
+        # outage, so "caught up" can only be trusted once a reply reports
+        # a serving member's frontier.
+        self._send_catchup()
+
+    def _catchup_done(self) -> bool:
+        return self.next_instance >= self.frontier
+
+    def _pull_catchup(self) -> None:
+        if self.crashed or not self._catching_up:
+            return
+        if self._catchup_done():
+            self._catching_up = False
+            self._catchup_timer.stop()
+            return
+        self._send_catchup()
+
+    def _send_catchup(self) -> None:
+        ring = self.config.acceptors
+        target = ring[(self.learner_index + self._catchup_attempts) % len(ring)]
+        count = max(1, min(self.frontier - self.next_instance, 256))
+        req = CatchupRequest(self.next_instance, count)
+        self.catchups_requested.inc()
+        self.network.send(self.node.name, target, self.config.repair_port, req, req.size)
+        self._catchup_timer.start(delay=self._catchup_backoff)
+
+    def _on_catchup_timeout(self) -> None:
+        """No reply within the backoff window: rotate target, back off."""
+        if self.crashed or not self._catching_up:
+            return
+        self._catchup_attempts += 1
+        self._catchup_backoff = min(
+            self._catchup_backoff * 2.0, 32.0 * self.config.repair_interval
+        )
+        self._pull_catchup()
+
+    def _on_catchup_reply(self, msg: CatchupReply) -> None:
+        if self.crashed:
+            return
+        self.frontier = max(self.frontier, msg.frontier)
+        before = self.next_instance
+        cursor = msg.instance
+        for item in msg.items:
+            if cursor >= self.next_instance:
+                self._awaiting_value.pop(cursor, None)
+                self._place(cursor, item)
+            cursor += item.instance_count
+        if not self._catching_up:
+            return
+        self._catchup_timer.stop()
+        if self.next_instance > before:
+            # Progress: stay on this target and pull the next chunk now.
+            self._catchup_backoff = self.config.repair_interval
+        else:
+            # An empty (or useless) reply: this member GC'd the prefix or
+            # is as lost as we are — try the next one after a backoff.
+            self._catchup_attempts += 1
+        self._pull_catchup()
+
+    def rollback_to(self, instance: int) -> None:
+        """Rewind delivery to ``instance`` (the next instance to emit).
+
+        Used by checkpoint-restoring replicas: the suffix after the
+        checkpoint is replayed through the normal decide path. Only
+        positions and reorder state are touched — no messages are sent, so
+        a crashed learner can be rolled back before its restart.
+        """
+        self.next_instance = instance
+        self._ready.clear()
+        self._awaiting_value.clear()
+        self._awaiting_by_vid.clear()
+        self.reorder_depth.set(0)
+        self._repair_attempts = 0
+        self._last_repair_instance = -1
+        probe = self.sim.probe
+        if probe is not None and probe.wants("learner.rollback"):
+            probe.emit(
+                "learner.rollback", self.sim.now, self.name,
+                ring=self.config.ring_id, node=self.node.name, instance=instance,
+            )
+
     def on_crash(self) -> None:
         self._repair_timer.stop()
+        self._catchup_timer.stop()
+        self._catching_up = False
 
     def on_restart(self) -> None:
         self._repair_timer.start()
+        self.begin_catchup()

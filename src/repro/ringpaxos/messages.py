@@ -27,6 +27,9 @@ __all__ = [
     "Heartbeat",
     "RepairRequest",
     "RepairReply",
+    "CatchupRequest",
+    "CatchupReply",
+    "CheckpointAck",
     "PrepareRange",
     "PromiseRange",
     "CoordinatorChange",
@@ -214,6 +217,60 @@ class RepairReply:
     @property
     def size(self) -> int:
         return CONTROL_MESSAGE_SIZE + sum(item.size for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class CatchupRequest:
+    """Recovering learner -> ring member: state transfer from ``instance``.
+
+    The pull side of the catch-up protocol. Unlike a gap repair (which
+    targets an observable head-of-line hole), a catch-up is driven by a
+    restarted learner that may not even know how far behind it is — the
+    reply's ``frontier`` tells it when to stop pulling.
+    """
+
+    instance: int
+    count: int = 1
+
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class CatchupReply:
+    """Answer to a catch-up: consecutive decided items plus the frontier.
+
+    ``frontier`` is the replier's decision frontier (first instance it
+    does not know to be decided); it may exceed ``instance + items`` when
+    the replier has garbage-collected the prefix, telling the learner to
+    rotate to another member. An empty ``items`` with a frontier is still
+    useful: it bounds the learner's remaining gap.
+    """
+
+    instance: int
+    items: tuple[DataBatch | SkipRange, ...]
+    frontier: int = 0
+
+    @property
+    def size(self) -> int:
+        return CONTROL_MESSAGE_SIZE + sum(item.size for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointAck:
+    """Replica -> ring members: a checkpoint covering ``< instance`` is durable.
+
+    Sent per subscribed ring after a replica's state-machine snapshot
+    reaches disk. Acceptors keep the minimum watermark across replicas
+    and truncate their Paxos log (``forget_up_to``) below it: instances
+    every replica has durably checkpointed no longer need the consensus
+    log for recovery.
+    """
+
+    replica: str
+    ring_id: int
+    instance: int
+
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 
 
 @dataclass(frozen=True, slots=True)

@@ -54,12 +54,14 @@ class RingFailover:
         config: RingConfig,
         acceptors: list[RingAcceptor],
         spare_nodes: list[Node],
-        suspect_timeout: float = 0.05,
+        suspect_timeout: float | None = None,
         on_new_coordinator: Callable[[RingCoordinator], None] | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if not acceptors:
             raise ConfigurationError("failover needs at least one non-coordinator acceptor")
+        if suspect_timeout is None:
+            suspect_timeout = config.suspect_timeout
         self.sim = sim
         self.network = network
         self.config = config

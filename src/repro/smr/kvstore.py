@@ -95,3 +95,19 @@ class KeyValueStore:
         lo = bisect.bisect_left(self._keys, kmin)
         hi = bisect.bisect_right(self._keys, kmax)
         return hi - lo
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """An immutable image of the store (keys + operation counters)."""
+        return (tuple(self._keys), self.inserts, self.deletes, self.queries)
+
+    def restore(self, state: tuple) -> None:
+        """Reload a :meth:`snapshot` image, replacing the current state."""
+        keys, self.inserts, self.deletes, self.queries = state
+        self._keys = list(keys)
+
+    def snapshot_bytes(self) -> int:
+        """Serialized snapshot size: 8 bytes per key plus a header."""
+        return 64 + 8 * len(self._keys)

@@ -8,6 +8,13 @@ unicasts responses back to clients. Execution charges the replica node's
 CPU with the state machine's declared cost — when executing requests is
 more expensive than ordering them, the replica CPU becomes the bottleneck,
 which is the regime partitioning exists to fix (paper, Section I).
+
+With ``checkpoint_interval`` set, the replica snapshots its state machine
+every K applied commands, writes the snapshot through its node's disk,
+and — once the write acks — acknowledges the covered instances to the
+ring members so they can truncate their consensus logs. A restarted
+replica reloads the latest durable checkpoint and replays only the
+suffix, pulled by its learner's catch-up protocol.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from typing import Any
 
 from ..calibration import CONTROL_MESSAGE_SIZE, CPU_FIXED_COST_SMALL_MESSAGE
 from ..core.deployment import MultiRingPaxos
+from ..errors import ConfigurationError
 from ..metrics import Counter
-from ..ringpaxos.messages import ClientValue
+from ..ringpaxos.messages import CheckpointAck, ClientValue
 from ..sim.node import Node
 from ..sim.process import Process
 from .partitioning import RangePartitioner
@@ -54,6 +62,8 @@ class Replica(Process):
         state_machine: StateMachine,
         name: str | None = None,
         respond: bool = True,
+        checkpoint_interval: int = 0,
+        disk_bandwidth: float | None = None,
     ) -> None:
         if name is None:
             name = f"replica-p{partition}"
@@ -64,13 +74,40 @@ class Replica(Process):
         self.respond = respond
         self.executed = Counter("executed")
         self.discarded = Counter("discarded")
+        self.checkpoints_taken = Counter("checkpoints_taken")
+        self.restores = Counter("restores")
         self.learner = mrp.add_learner(
             groups=partitioner.groups_for_replica(partition),
             on_deliver=self._on_deliver,
             name=name,
+            disk_bandwidth=disk_bandwidth,
         )
         super().__init__(mrp.sim, f"replica@{self.learner.node.name}")
         self.network = mrp.network
+        self.checkpoint_interval = checkpoint_interval
+        self._applied_total = 0
+        self._applied_since_checkpoint = 0
+        # Commands delivered but still queued on the CPU. A checkpoint is
+        # only consistent when this is zero: the learner's delivery
+        # position then matches the state machine's applied prefix.
+        self._pending_execs = 0
+        self._checkpoint_due = False
+        # Bumped on crash: a snapshot disk write still in flight at the
+        # crash never becomes the durable checkpoint.
+        self._checkpoint_epoch = 0
+        self._durable_checkpoint: dict | None = None
+        if checkpoint_interval:
+            if checkpoint_interval < 0:
+                raise ConfigurationError("checkpoint_interval must be >= 0")
+            for method in ("snapshot", "restore", "snapshot_bytes"):
+                if not hasattr(state_machine, method):
+                    raise ConfigurationError(
+                        f"checkpointing needs a state machine with {method}()"
+                    )
+            # The genesis checkpoint: a fresh replica's (empty) state is
+            # trivially durable, so a crash before the first snapshot
+            # replays the log from the beginning.
+            self._durable_checkpoint = self._capture()
 
     @property
     def node(self) -> Node:
@@ -92,6 +129,7 @@ class Replica(Process):
             self.discarded.inc()
             return
         cost = self.state_machine.execution_cost(command) + CPU_FIXED_COST_SMALL_MESSAGE
+        self._pending_execs += 1
         self.node.cpu.execute(cost, self._execute, command)
 
     def _concerns_me(self, command: Command) -> bool:
@@ -101,8 +139,10 @@ class Replica(Process):
     def _execute(self, command: Command) -> None:
         if self.crashed:
             return
+        self._pending_execs -= 1
         result = self.state_machine.apply(self._clip(command))
         self.executed.inc()
+        self._applied_total += 1
         probe = self.sim.probe
         if probe is not None and probe.wants("replica.apply"):
             probe.emit(
@@ -110,6 +150,20 @@ class Replica(Process):
                 node=self.node.name, partition=self.partition,
                 op=command.op, client=command.client, req_id=command.req_id,
             )
+        if self.checkpoint_interval:
+            self._applied_since_checkpoint += 1
+            if self._applied_since_checkpoint >= self.checkpoint_interval:
+                self._applied_since_checkpoint = 0
+                self._checkpoint_due = True
+            # The learner's delivery position runs ahead of execution (a
+            # whole batch is delivered before its first command leaves
+            # the CPU queue), so capture only once the pipeline drains —
+            # otherwise the snapshot pairs an N-command state machine
+            # with an (N+k)-command delivery position, and the k queued
+            # commands would be lost on restore.
+            if self._checkpoint_due and self._pending_execs == 0:
+                self._checkpoint_due = False
+                self._take_checkpoint()
         if self.respond and command.client:
             response = Response(
                 req_id=command.req_id,
@@ -134,3 +188,87 @@ class Replica(Process):
             req_id=command.req_id,
             padding=command.padding,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing and crash recovery
+    # ------------------------------------------------------------------
+    def _capture(self) -> dict:
+        """A consistent image: state machine + delivery position + count."""
+        return {
+            "sm": self.state_machine.snapshot(),
+            "learner": self.learner.checkpoint_state(),
+            "applied": self._applied_total,
+        }
+
+    def _take_checkpoint(self) -> None:
+        """Snapshot now; the image becomes durable when the write acks.
+
+        The capture is synchronous (the replica checkpoints between
+        commands), but durability is paid for: the serialized snapshot
+        goes through the node's disk, and only the ack commits it. With
+        no disk configured the commit is immediate — an explicitly
+        RAM-durable deployment.
+        """
+        snapshot = self._capture()
+        nbytes = CONTROL_MESSAGE_SIZE + int(self.state_machine.snapshot_bytes())
+        disk = self.node.disk
+        if disk is not None:
+            disk.write(nbytes, self._commit_checkpoint, self._checkpoint_epoch, snapshot)
+        else:
+            self._commit_checkpoint(self._checkpoint_epoch, snapshot)
+
+    def _commit_checkpoint(self, epoch: int, snapshot: dict) -> None:
+        if self.crashed or epoch != self._checkpoint_epoch:
+            return  # crashed between the snapshot write and its ack
+        self._durable_checkpoint = snapshot
+        self.checkpoints_taken.inc()
+        self._send_checkpoint_acks(snapshot)
+
+    def _send_checkpoint_acks(self, snapshot: dict) -> None:
+        """Tell every ring member which instances this checkpoint covers.
+
+        All instances below the checkpointed per-ring position are now
+        recoverable from this replica's disk; once every replica of the
+        deployment says so, acceptors truncate their logs below the
+        common watermark.
+        """
+        for ring_id, position in snapshot["learner"]["ring_positions"].items():
+            config = self.mrp.ring_configs[ring_id]
+            ack = CheckpointAck(replica=self.name, ring_id=ring_id, instance=position)
+            for member in config.acceptors:
+                self.network.send(
+                    self.node.name, member, config.repair_port, ack, ack.size
+                )
+
+    def on_crash(self) -> None:
+        self._checkpoint_epoch += 1
+        self._pending_execs = 0
+        self._checkpoint_due = False
+        self.learner.crash()
+
+    def on_restart(self) -> None:
+        """Reload the latest durable checkpoint, then catch up the suffix.
+
+        Restore happens while the learner is still crashed — rolling the
+        delivery position back sends no traffic — and the learner restart
+        that follows starts catch-up from the checkpointed position.
+        Without checkpointing the replica keeps its in-memory state, the
+        simulator's default process-restart semantics.
+        """
+        checkpoint = self._durable_checkpoint
+        if checkpoint is None:
+            self.learner.restart()
+            return
+        self.state_machine.restore(checkpoint["sm"])
+        self._applied_total = checkpoint["applied"]
+        self._applied_since_checkpoint = 0
+        self.learner.restore_state(checkpoint["learner"])
+        self.restores.inc()
+        probe = self.sim.probe
+        if probe is not None and probe.wants("replica.restore"):
+            probe.emit(
+                "replica.restore", self.sim.now, self.name,
+                node=self.node.name, partition=self.partition,
+                applied=checkpoint["applied"],
+            )
+        self.learner.restart()

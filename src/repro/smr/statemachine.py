@@ -38,7 +38,13 @@ class Command:
 
 
 class StateMachine(Protocol):
-    """A deterministic service: same command sequence -> same results."""
+    """A deterministic service: same command sequence -> same results.
+
+    Checkpointing replicas additionally require ``snapshot() -> Any``
+    (an immutable image of the full service state), ``restore(state)``
+    (reload such an image), and ``snapshot_bytes() -> int`` (the image's
+    serialized size, billed against the replica's disk).
+    """
 
     def apply(self, command: Command) -> Any:
         """Execute ``command`` and return its result."""
@@ -61,3 +67,12 @@ class DummyService:
 
     def execution_cost(self, command: Command) -> float:
         return 0.0
+
+    def snapshot(self) -> int:
+        return self.applied
+
+    def restore(self, state: int) -> None:
+        self.applied = state
+
+    def snapshot_bytes(self) -> int:
+        return 64

@@ -42,6 +42,71 @@ def test_corpus_seed_runs_clean(seed):
     assert len(result.schedule) > 0
 
 
+# Restart-heavy profile: every case deploys checkpointing replicas and
+# the schedule pairs each crash with a restart, so the recovery paths
+# (acceptor log replay, learner catch-up, checkpoint restore) and the
+# liveness-after-restart oracle are all live. seed: (durable, what the
+# drawn schedule crashes).
+RESTART_CORPUS = {
+    100: (False, "acceptor"),   # amnesiac acceptor rejoins the ring
+    102: (True, "both"),        # replica AND in-ring acceptor, ckpt=4
+    105: (False, "replica"),    # three rings, replica crash, ckpt=16
+    110: (True, "both"),        # durable, replica + acceptor, ckpt=8
+}
+
+
+@pytest.mark.parametrize("seed", sorted(RESTART_CORPUS))
+def test_restart_heavy_corpus_seed_runs_clean(seed):
+    result = run_case(seed, profile="restart-heavy")
+    assert result.ok, f"seed {seed} regressed: {result.message}"
+    assert result.events_checked > 100
+    expected_durable, crashes = RESTART_CORPUS[seed]
+    assert result.config.durable == expected_durable
+    assert result.config.replicas > 0
+    assert result.config.checkpoint_interval > 0
+    targets = {
+        s.target.split(":")[0]
+        for s in result.schedule.steps
+        if s.action == "crash" and s.target
+    }
+    if crashes in ("acceptor", "both"):
+        assert "acceptor" in targets
+    if crashes in ("replica", "both"):
+        assert "replica" in targets
+
+
+def test_acceptor_crash_restart_mid_instance_recovers():
+    """Acceptance schedule: a durable in-ring acceptor dies mid-instance
+    and comes back. Recovery must replay its persisted log (so it keeps
+    answering Phase 1 / repair for old instances) and re-chain it into
+    the ring; every oracle plus liveness-after-restart then holds."""
+    base = run_case(102, profile="restart-heavy")
+    assert base.ok
+    schedule = Schedule([
+        ScheduleStep(0.4, "crash", target="acceptor:0:0"),
+        ScheduleStep(0.9, "restart", target="acceptor:0:0"),
+    ])
+    result = run_case(102, config=base.config, schedule=schedule)
+    assert result.ok, f"acceptor crash/restart broke the ring: {result.message}"
+
+
+def test_replica_crash_past_first_checkpoint_recovers():
+    """Acceptance schedule: a replica dies well past its first checkpoint
+    (interval 4, crash at 60% of a 1.5 s run). The restart must restore
+    the durable checkpoint, roll the learner back to the checkpointed
+    positions, and catch up the suffix — divergence here trips the
+    replica-order oracle, a stall trips liveness-after-restart."""
+    base = run_case(102, profile="restart-heavy")
+    assert base.ok
+    assert base.config.checkpoint_interval == 4
+    schedule = Schedule([
+        ScheduleStep(0.9, "crash", target="replica:0"),
+        ScheduleStep(1.2, "restart", target="replica:0"),
+    ])
+    result = run_case(102, config=base.config, schedule=schedule)
+    assert result.ok, f"replica checkpoint recovery failed: {result.message}"
+
+
 def test_crashed_proposer_must_not_burn_seqs():
     """The fuzzer's first real catch, pinned as its minimized schedule.
 

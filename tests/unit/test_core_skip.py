@@ -121,6 +121,44 @@ def test_mu_is_zero_on_idle_ring():
     assert mgr.mu == pytest.approx(0.0, abs=20.0)
 
 
+def test_manager_restart_does_not_double_schedule_ticks():
+    """Crash/restart churn (including redundant restarts, as the fuzz
+    heal epilogue issues) must leave exactly one periodic tick armed:
+    the sampled-interval count stays ~elapsed/delta, never 2x."""
+    sim, coord, mgr = make_ring(lambda_rate=1000.0, delta=1e-3)
+    sim.run(until=0.5)
+    mgr.crash()
+    sim.run(until=0.7)
+    mgr.restart()
+    mgr.restart()  # idempotent: a second restart must not re-arm a copy
+    sim.run(until=0.8)
+    coord.crash()
+    coord.restart()  # coordinator churn must not touch the manager's timer
+    base = mgr.intervals_sampled.value
+    sim.run(until=1.8)
+    ticks = mgr.intervals_sampled.value - base
+    assert 950 <= ticks <= 1050
+
+
+def test_manager_restart_does_not_skew_mu_or_double_count_skips():
+    """The first post-restart tick covers the whole outage once: the
+    backlog of skips is proposed exactly once (planned ~ lambda * uptime
+    semantics of Figure 12), and mu settles back to ~0 on an idle ring
+    rather than inheriting a stale-window estimate."""
+    sim, coord, mgr = make_ring(lambda_rate=1000.0, delta=1e-3)
+    sim.run(until=0.5)
+    mgr.crash()
+    sim.run(until=1.0)  # manager down; coordinator idle, no skips
+    k_during_outage = coord.planned_instance
+    mgr.restart()
+    sim.run(until=1.5)
+    # Outage backlog (~500 instances) made up once, not twice.
+    assert coord.planned_instance >= k_during_outage + 450
+    assert 1400 <= coord.planned_instance <= 1600
+    # Steady state again: the ring is pure skips, so observed mu ~ 0.
+    assert mgr.mu == pytest.approx(0.0, abs=50.0)
+
+
 def test_validation():
     sim = Simulator()
     net = Network(sim)

@@ -70,6 +70,31 @@ def test_participant_naming_is_stable():
     assert mrp.proposers == [p1]
 
 
+def test_suspect_timeout_threads_down_to_rings_and_failover():
+    mrp = MultiRingPaxos(
+        MultiRingConfig(
+            n_groups=1,
+            lambda_rate=0.0,
+            suspect_timeout=0.25,
+            spares_per_ring=1,
+            auto_failover=True,
+        )
+    )
+    handle = mrp.rings[0]
+    assert handle.config.suspect_timeout == 0.25
+    assert handle.failover is not None
+    assert handle.failover.suspect_timeout == 0.25
+
+
+def test_suspect_timeout_must_exceed_heartbeat_interval():
+    from repro.ringpaxos import RingConfig
+
+    with pytest.raises(ConfigurationError):
+        RingConfig(ring_id=0, acceptors=["a"], suspect_timeout=0.01)
+    with pytest.raises(ConfigurationError):
+        MultiRingConfig(n_groups=1, suspect_timeout=0.0)
+
+
 def test_coordinator_cpu_helper():
     mrp = MultiRingPaxos(MultiRingConfig(n_groups=1, lambda_rate=2000.0))
     prop = mrp.add_proposer()

@@ -189,7 +189,8 @@ class TestCli:
                              ScheduleStep(0.2, "crash", target="learner:1")])
         essential = [schedule.steps[0]]
 
-        def fake(seed, config=None, schedule=schedule, grace=6.0, duration=None):
+        def fake(seed, config=None, schedule=schedule, grace=6.0, duration=None,
+                 profile="default"):
             failing = all(s in schedule.steps for s in essential)
             return CaseResult(seed=seed, config=config or CaseConfig(), schedule=schedule,
                               ok=not failing, oracle="agreement" if failing else None,
