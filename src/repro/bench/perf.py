@@ -14,7 +14,11 @@ trajectory:
   against, plus the speedup ratio per benchmark;
 * a regression check (``--check``) used by CI: fail only when a
   benchmark regresses more than ``--max-regression`` against the
-  committed baseline (``benchmarks/perf/baseline.json``).
+  committed baseline (``benchmarks/perf/baseline.json``);
+* a gain gate (``--min-speedup NAME=RATIO``, repeatable): fail unless
+  the recorded speedup vs the committed baseline reaches ``RATIO`` —
+  how CI pins a claimed kernel improvement (e.g. the calendar-queue
+  kernel's events/s multiple) instead of letting it silently erode.
 
 Usage::
 
@@ -22,6 +26,7 @@ Usage::
     python -m repro bench --quick             # CI-sized configuration
     python -m repro bench --update-baseline   # re-record the baseline file
     python -m repro bench --check             # exit 1 on >30% regression
+    python -m repro bench --check --min-speedup kernel_events_per_sec=2.0
 
 The timer (:func:`time_call`) is best-of-``repeat`` wall time around a
 callable; other benchmarks (e.g. ``benchmarks/test_check_overhead.py``)
@@ -55,6 +60,8 @@ __all__ = [
     "bench_fig5_sweep",
     "run_suite",
     "compare_to_baseline",
+    "check_min_speedups",
+    "parse_min_speedup",
     "speedups",
     "load_report",
     "write_report",
@@ -394,6 +401,40 @@ def compare_to_baseline(
     return failures
 
 
+def parse_min_speedup(spec: str) -> tuple[str, float]:
+    """Parse a ``NAME=RATIO`` gain-gate spec (e.g. ``kernel_events_per_sec=2.0``)."""
+    name, sep, ratio_text = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(f"expected NAME=RATIO, got {spec!r}")
+    try:
+        ratio = float(ratio_text)
+    except ValueError:
+        raise ValueError(f"invalid ratio in {spec!r}") from None
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive in {spec!r}")
+    return name, ratio
+
+
+def check_min_speedups(
+    ratios: dict[str, float], required: dict[str, float]
+) -> list[str]:
+    """Failure messages for recorded speedups below their required floor.
+
+    ``ratios`` is the report's ``speedup`` section (vs the committed
+    baseline). A benchmark with no recorded ratio — missing from the
+    suite or from the baseline — fails the gate too: a gain that cannot
+    be measured is not a gain that landed.
+    """
+    failures = []
+    for name, floor in required.items():
+        ratio = ratios.get(name)
+        if ratio is None:
+            failures.append(f"{name}: no speedup recorded vs baseline (need >= {floor:.2f}x)")
+        elif ratio < floor:
+            failures.append(f"{name}: {ratio:.2f}x vs baseline, need >= {floor:.2f}x")
+    return failures
+
+
 def load_report(path: str | Path) -> dict | None:
     """Read a report/baseline JSON; None when absent."""
     p = Path(path)
@@ -406,6 +447,25 @@ def _baseline_benchmarks(baseline: dict | None, mode: str) -> dict[str, dict]:
     if not baseline:
         return {}
     return baseline.get("modes", {}).get(mode, {}).get("benchmarks", {})
+
+
+def _baseline_provenance(baseline: dict | None, mode: str) -> dict:
+    """When/where/on-what the compared baseline was recorded.
+
+    Per-mode provenance (each mode can be re-recorded independently)
+    with a fallback to the file-level fields older baseline files carry.
+    """
+    if not baseline:
+        return {"recorded_at": None, "host": None}
+    mode_entry = baseline.get("modes", {}).get(mode, {})
+    out = {
+        "recorded_at": mode_entry.get("recorded_at") or baseline.get("recorded_at"),
+        "host": mode_entry.get("host") or baseline.get("host"),
+    }
+    note = mode_entry.get("note") or baseline.get("note")
+    if note:
+        out["note"] = note
+    return out
 
 
 def write_report(
@@ -423,8 +483,7 @@ def write_report(
         "host": _host_info(),
         "benchmarks": benchmarks,
         "baseline": {
-            "recorded_at": (baseline or {}).get("recorded_at"),
-            "host": (baseline or {}).get("host"),
+            **_baseline_provenance(baseline, mode),
             "benchmarks": base_benchmarks,
         },
         "speedup": speedups(benchmarks, base_benchmarks),
@@ -433,13 +492,25 @@ def write_report(
     return report
 
 
-def update_baseline(path: str | Path, mode: str, benchmarks: dict[str, dict]) -> dict:
-    """Record ``benchmarks`` as the committed baseline for ``mode``."""
+def update_baseline(
+    path: str | Path, mode: str, benchmarks: dict[str, dict], note: str | None = None
+) -> dict:
+    """Record ``benchmarks`` as the committed baseline for ``mode``.
+
+    Provenance (timestamp, host, optional free-text ``note`` naming the
+    kernel generation the numbers measure) is stored per mode, so
+    re-recording one mode does not misattribute the other's numbers.
+    """
     existing = load_report(path) or {"schema": SCHEMA_VERSION, "modes": {}}
     existing["schema"] = SCHEMA_VERSION
-    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    existing["host"] = _host_info()
-    existing.setdefault("modes", {})[mode] = {"benchmarks": benchmarks}
+    mode_entry: dict[str, Any] = {
+        "benchmarks": benchmarks,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host_info(),
+    }
+    if note:
+        mode_entry["note"] = note
+    existing.setdefault("modes", {})[mode] = mode_entry
     _atomic_write_text(path, json.dumps(existing, indent=2, sort_keys=True) + "\n")
     return existing
 
@@ -487,6 +558,15 @@ def bench_main(argv: list[str] | None = None) -> int:
                         help="exit 1 if any benchmark regresses past --max-regression")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed slowdown vs baseline (default 0.30 = 30%%)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="with --check: fail unless the recorded speedup of "
+                             "NAME vs the committed baseline is at least RATIO "
+                             "(repeatable)")
+    parser.add_argument("--baseline-note", default=None,
+                        help="with --update-baseline: free-text provenance note "
+                             "recorded alongside the new baseline (e.g. which "
+                             "kernel generation it measures)")
     parser.add_argument("--jobs", default="4",
                         help="worker processes for the sweep benchmark's parallel "
                              "leg: a number or 'auto' (default 4)")
@@ -496,6 +576,7 @@ def bench_main(argv: list[str] | None = None) -> int:
 
     try:
         jobs = parse_jobs(args.jobs)
+        required_speedups = dict(parse_min_speedup(s) for s in args.min_speedup)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -504,7 +585,7 @@ def bench_main(argv: list[str] | None = None) -> int:
     benchmarks = run_suite(mode, jobs=jobs)
 
     if args.update_baseline:
-        update_baseline(args.baseline, mode, benchmarks)
+        update_baseline(args.baseline, mode, benchmarks, note=args.baseline_note)
         print(f"baseline ({mode}) updated: {args.baseline}")
 
     baseline = load_report(args.baseline)
@@ -517,9 +598,12 @@ def bench_main(argv: list[str] | None = None) -> int:
         failures = compare_to_baseline(
             benchmarks, _baseline_benchmarks(baseline, mode), args.max_regression
         )
+        failures += check_min_speedups(report["speedup"], required_speedups)
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
         print(f"regression check passed (threshold {args.max_regression * 100:.0f}%)")
+        for name, floor in sorted(required_speedups.items()):
+            print(f"gain gate passed: {name} {report['speedup'][name]:.2f}x >= {floor:.2f}x")
     return 0

@@ -1,36 +1,85 @@
 """Event primitives for the discrete-event simulation kernel.
 
-The kernel is a classic calendar queue: events are ``(time, seq)``-ordered
-callbacks kept in a binary heap. ``seq`` is a monotonically increasing
-tie-breaker so that two events scheduled for the same instant fire in the
-order they were scheduled — this is what makes simulations bit-for-bit
-deterministic for a given seed.
+The kernel is a **bucketed calendar queue**: events are ``(time, seq)``-
+ordered callbacks distributed over a ring of time buckets. ``seq`` is a
+monotonically increasing tie-breaker so that two events scheduled for the
+same instant fire in the order they were scheduled — this is what makes
+simulations bit-for-bit deterministic for a given seed. The calendar is a
+pure *storage* layout: delivery order is always the exact ``(time, seq)``
+total order, independent of bucket width, so golden traces are identical
+to the binary-heap kernel this replaced.
 
-Performance notes (the heap is the hottest code in the whole simulator —
-profiled at >15% of a full protocol run):
+Layout (the queue is the hottest code in the whole simulator — profiled
+at >15% of a full protocol run):
 
-* Every heap entry is a plain ``(time, seq, fn, args, event)`` tuple, so
-  ordering comparisons run as C tuple comparisons and never reach the
-  third element (``seq`` is unique).
-* The last slot is ``None`` on the **fast path** (:meth:`EventQueue
-  .push_fast`): events that will never be cancelled — message arrivals,
-  queue completions, the ~95% case — pay one tuple and one ``heappush``,
-  no :class:`Event` object. Only cancellable timers go through
-  :meth:`EventQueue.push`, which allocates the ``Event`` handle that
-  :meth:`EventQueue.cancel` needs.
-* Consumers that need one heap inspection per event (the fused
-  ``Simulator.run`` loop) use :meth:`EventQueue.pop_entry` /
-  :meth:`EventQueue.peek_entry`; the ``peek_time()`` + ``pop()`` pair is
-  kept for single-stepping and tests but costs two top-of-heap scans.
+* **Ring**: ``NBUCKETS`` bucket lists of width ``1 / _winv`` seconds.
+  An event at time ``t`` lands in bucket ``int(t * _winv)``; a push is a
+  plain list append. Draining takes a whole bucket at once, sorts it
+  (Timsort on an almost-sorted few-entry list), and serves it as the
+  current *batch* — one heap-free scan per event instead of an
+  O(log n) sift per push **and** per pop.
+* **Occupancy heap** (``_ids``): a small heap of the occupied bucket
+  indices, pushed only on an empty-to-nonempty transition. Advancing to
+  the next nonempty bucket is a single ``heappop`` even when the
+  schedule is sparse — no slot scanning.
+* **Overflow tier** (``_overflow``): a plain entry heap for events
+  beyond the ring horizon (``NBUCKETS`` buckets ahead), e.g. tens-of-ms
+  retry timers. Overflow entries migrate into their bucket's batch when
+  the cursor reaches them, merged by a full ``(time, seq)`` sort.
+* **Reentry list** (``_reentry``): pushes into the bucket currently
+  being drained (zero/short delays). Entries here strictly precede
+  everything still in the ring or overflow tier (their bucket is at or
+  behind the cursor), and are merged into the live batch by sorted
+  insertion before the next event fires.
+* **Adaptive width**: every ``ADJUST_EVERY`` batches the queue compares
+  the observed event density against ``TARGET_PER_BUCKET`` and resizes
+  the bucket width (between ``1 / W_INV_MAX`` and ``1 / W_INV_MIN``),
+  re-bucketing in O(pending). Protocol runs sit near sub-µs NIC/CPU
+  service times while idle phases are timer-sparse; one static width
+  cannot serve both regimes.
+
+Every entry is a plain ``(time, seq, fn, args, event-or-None)`` tuple, so
+ordering comparisons run as C tuple comparisons and never reach the third
+element (``seq`` is unique). The last slot is ``None`` on the **fast
+path** (:meth:`EventQueue.push_fast`): events that will never be
+cancelled — message arrivals, queue completions, the ~95% case — pay one
+tuple and one append, no :class:`Event` object. Only cancellable timers
+go through :meth:`EventQueue.push`, which allocates the ``Event`` handle
+that :meth:`EventQueue.cancel` needs.
+
+Consumers that single-step (tests, :meth:`Simulator.step`) use
+:meth:`EventQueue.pop_entry` / :meth:`EventQueue.peek_entry`; the fused
+``Simulator.run`` loop drains the live batch in place. ``peek_entry``
+never consumes a live entry, so callbacks may peek mid-run to ask "what
+fires next?" — the completion strips in ``server.py`` rely on this to
+sweep several queued completions through one kernel event without
+breaking the total order.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from itertools import count
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
+
+# Calendar geometry. NBUCKETS is a power of two so the ring index is a
+# mask; the horizon (NBUCKETS buckets) must comfortably exceed one
+# scheduling quantum of the protocols (sub-ms service times) at the
+# narrowest width: 16384 * 0.5 µs ≈ 8 ms.
+NBUCKETS = 16384
+_MASK = NBUCKETS - 1
+
+# Width bounds and the density the adaptive policy aims for. The
+# narrowest width (0.5 µs) keeps back-to-back NIC serializations of
+# small frames in distinct buckets; the widest (0.5 s) serves
+# timer-only idle phases.
+W_INV_MAX = 2e6
+W_INV_MIN = 2.0
+ADJUST_EVERY = 128
+TARGET_PER_BUCKET = 8.0
 
 
 class Event:
@@ -80,44 +129,93 @@ class Event:
 
 
 class EventQueue:
-    """A min-heap of scheduled callbacks with lazy cancellation.
+    """A calendar queue of scheduled callbacks with lazy cancellation.
 
-    Cancelled events stay in the heap until they surface at the top, at
-    which point they are discarded. This keeps cancellation O(1) while
-    pops remain O(log n) amortised.
+    Cancelled events stay in their bucket until the drain reaches them,
+    at which point they are discarded. This keeps cancellation O(1)
+    while the drain stays a linear scan.
+
+    Ordering invariant (relied on everywhere): an entry is delivered
+    strictly after every entry with a smaller ``(time, seq)`` key,
+    regardless of which tier (batch, reentry, ring, overflow) it sits
+    in. Reentry entries have bucket <= cursor, so their times are
+    strictly below the start of any ring/overflow bucket > cursor; the
+    batch is consumed in sorted order with reentry merged in front of
+    the read index before the next event fires.
     """
 
-    __slots__ = ("_heap", "_seq", "_cancelled")
+    __slots__ = (
+        "_ring", "_ids", "_overflow", "_reentry", "_batch", "_bi",
+        "_cursor", "_winv", "_seq", "_cancelled",
+        "_adj_batches", "_adj_drained", "_adj_reentered", "_adj_t0",
+    )
 
     def __init__(self) -> None:
-        # Entries are (time, seq, fn, args, event-or-None); see module doc.
-        # The live count is derived (len(heap) minus pending cancelled
-        # entries) so the pop hot path does zero counter bookkeeping.
         # seq is an itertools.count: one C call per ticket instead of a
         # load/add/store round-trip, shared with Simulator.post/post_at.
-        self._heap: list[tuple[float, int, Callable[..., None], tuple, Event | None]] = []
+        self._ring: list[list[tuple] | None] = [None] * NBUCKETS
+        self._ids: list[int] = []        # heap of occupied bucket indices
+        self._overflow: list[tuple] = []  # entry heap beyond the horizon
+        self._reentry: list[tuple] = []  # pushes at/behind the cursor bucket
+        self._batch: list[tuple] = []    # current bucket, sorted
+        self._bi = 0                     # next unread index into _batch
+        self._cursor = -1                # bucket currently (last) drained
+        self._winv = W_INV_MAX           # buckets per second (1 / width)
         self._seq = count()
-        self._cancelled = 0  # cancelled entries still buried in the heap
+        self._cancelled = 0  # cancelled entries still buried in the queue
+        # Width-adaptation counters, reset every ADJUST_EVERY batches.
+        self._adj_batches = 0
+        self._adj_drained = 0
+        self._adj_reentered = 0
+        self._adj_t0 = 0.0
 
     def __len__(self) -> int:
-        return len(self._heap) - self._cancelled
+        n = len(self._batch) - self._bi + len(self._reentry) + len(self._overflow)
+        ring = self._ring
+        for b in self._ids:
+            n += len(ring[b & _MASK])  # type: ignore[arg-type]
+        return n - self._cancelled
 
     def __bool__(self) -> bool:
-        return len(self._heap) > self._cancelled
+        return len(self) > 0
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def _push_entry(self, entry: tuple) -> None:
+        """File ``entry`` into the tier its bucket falls in."""
+        b = int(entry[0] * self._winv)
+        d = b - self._cursor
+        if 0 < d < NBUCKETS:
+            ring = self._ring
+            s = b & _MASK
+            lst = ring[s]
+            if lst:
+                lst.append(entry)
+            else:
+                if lst is None:
+                    ring[s] = [entry]
+                else:
+                    lst.append(entry)
+                heapq.heappush(self._ids, b)
+        elif d <= 0:
+            self._reentry.append(entry)
+        else:
+            heapq.heappush(self._overflow, entry)
 
     def push(self, time: float, fn: Callable[..., None], args: tuple[Any, ...] = ()) -> Event:
         """Insert a cancellable callback firing at ``time``; returns its Event."""
         seq = next(self._seq)
         event = Event(time=time, seq=seq, fn=fn, args=args)
-        heapq.heappush(self._heap, (time, seq, fn, args, event))
+        self._push_entry((time, seq, fn, args, event))
         return event
 
     def push_fast(self, time: float, fn: Callable[..., None], args: tuple[Any, ...] = ()) -> None:
         """Fast path: insert a fire-and-forget callback (not cancellable).
 
-        No :class:`Event` is allocated; the entry is a bare heap tuple.
+        No :class:`Event` is allocated; the entry is a bare tuple.
         """
-        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
+        self._push_entry((time, next(self._seq), fn, args, None))
 
     def cancel(self, event: Event) -> None:
         """Cancel ``event`` if it has not fired yet (idempotent).
@@ -130,40 +228,194 @@ class EventQueue:
             event.cancel()
             self._cancelled += 1
 
-    def peek_entry(self) -> tuple | None:
-        """The next live heap entry without removing it, or None if empty.
+    # ------------------------------------------------------------------
+    # Batch machinery (shared with the fused Simulator.run loop)
+    # ------------------------------------------------------------------
+    def _merge_reentry(self) -> None:
+        """Sort pending reentry pushes into the unread part of the batch."""
+        reentry = self._reentry
+        batch = self._batch
+        bi = self._bi
+        if bi < len(batch):
+            self._adj_reentered += len(reentry)
+            for entry in reentry:
+                insort(batch, entry, bi)
+            reentry.clear()
+        # else: the batch is spent; _next_batch drains reentry first.
 
-        Drops cancelled entries from the top as a side effect, so callers
-        pairing this with :meth:`pop_entry` pay a single scan per event.
+    def _next_batch(self) -> list[tuple] | None:
+        """Install the next bucket's entries as the current batch.
+
+        Returns the new (sorted, non-empty) batch, or None when the
+        queue is empty. Caller guarantees the current batch is fully
+        consumed (``_bi >= len(_batch)``).
         """
-        heap = self._heap
-        while heap:
-            entry = heap[0]
-            event = entry[4]
-            if event is not None and event.cancelled:
-                heapq.heappop(heap)
-                self._cancelled -= 1
-                continue
-            return entry
-        return None
+        reentry = self._reentry
+        if reentry:
+            # Entries at/behind the cursor bucket strictly precede
+            # anything still in the ring or overflow tier.
+            batch = sorted(reentry)
+            reentry.clear()
+            self._batch = batch
+            self._bi = 0
+            self._adj_drained += len(batch)
+            self._adj_reentered += len(batch)
+            return batch
+        self._adj_batches += 1
+        if self._adj_batches >= ADJUST_EVERY:
+            self._maybe_adjust()
+            if reentry:
+                # A resize reclassified stored entries whose bucket now
+                # falls at/behind the recomputed cursor; they precede
+                # whatever the re-bucketed ring/overflow holds. Not
+                # counted as "reentered": that counter is a bucket-width
+                # density signal and these moves say nothing about it.
+                batch = sorted(reentry)
+                reentry.clear()
+                self._batch = batch
+                self._bi = 0
+                self._adj_drained += len(batch)
+                return batch
+        ids = self._ids
+        overflow = self._overflow
+        winv = self._winv
+        if ids:
+            i = ids[0]
+            if overflow and overflow[0][0] * winv < i:
+                # The overflow tier reaches a bucket before the ring does.
+                i = int(overflow[0][0] * winv)
+                batch = []
+            else:
+                heapq.heappop(ids)
+                s = i & _MASK
+                batch = self._ring[s]  # type: ignore[assignment]
+                self._ring[s] = []
+        elif overflow:
+            i = int(overflow[0][0] * winv)
+            batch = []
+        else:
+            self._batch = []
+            self._bi = 0
+            return None
+        self._cursor = i
+        if overflow:
+            # Migrate overflow entries that belong to this bucket.
+            lim = i + 1
+            pop = heapq.heappop
+            while overflow and overflow[0][0] * winv < lim:
+                batch.append(pop(overflow))
+        batch.sort()
+        self._batch = batch
+        self._bi = 0
+        self._adj_drained += len(batch)
+        return batch
+
+    def _maybe_adjust(self) -> None:
+        """Re-tune the bucket width to the observed event density."""
+        drained = self._adj_drained
+        reentered = self._adj_reentered
+        self._adj_batches = 0
+        self._adj_drained = 0
+        self._adj_reentered = 0
+        winv = self._winv
+        t = self._cursor / winv
+        span = t - self._adj_t0
+        self._adj_t0 = t
+        if reentered * 2 > drained:
+            # Buckets too wide: events keep landing at/behind the drain.
+            target = winv * 4.0
+        elif span > 0.0 and drained > 0:
+            target = drained / (span * TARGET_PER_BUCKET)
+        else:
+            return
+        if target > W_INV_MAX:
+            target = W_INV_MAX
+        elif target < W_INV_MIN:
+            target = W_INV_MIN
+        ratio = target / winv
+        if ratio < 0.5 or ratio > 2.0:
+            self._resize(target)
+
+    def _resize(self, winv: float) -> None:
+        """Re-bucket every stored entry under a new width. O(pending)."""
+        entries: list[tuple] = []
+        ring = self._ring
+        for b in self._ids:
+            s = b & _MASK
+            lst = ring[s]
+            if lst:
+                entries.extend(lst)
+                ring[s] = []
+        self._ids.clear()
+        entries.extend(self._overflow)
+        del self._overflow[:]
+        old_cursor = self._cursor
+        old_winv = self._winv
+        self._winv = winv
+        self._cursor = int(old_cursor / old_winv * winv) if old_cursor > 0 else -1
+        self._adj_t0 = self._cursor / winv
+        push_entry = self._push_entry
+        for entry in entries:
+            push_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Single-step interface
+    # ------------------------------------------------------------------
+    def peek_entry(self) -> tuple | None:
+        """The next live entry without consuming it, or None if empty.
+
+        Never consumes a live entry, so this is safe to call from inside
+        a running callback (the completion strips do). Cancelled entries
+        at the front are scanned past; runs of them that end a spent
+        batch are discarded before refilling.
+        """
+        while True:
+            if self._reentry:
+                self._merge_reentry()
+            batch = self._batch
+            bi = self._bi
+            n = len(batch)
+            while bi < n:
+                entry = batch[bi]
+                event = entry[4]
+                if event is not None and event.cancelled:
+                    bi += 1
+                    continue
+                return entry
+            if bi > self._bi:
+                # Everything left in the batch was cancelled: drop it so
+                # the refill below doesn't strand the live count.
+                self._cancelled -= bi - self._bi
+                self._bi = bi
+            if self._next_batch() is None:
+                return None
 
     def pop_entry(self) -> tuple | None:
-        """Remove and return the next live heap entry, or None if empty.
+        """Remove and return the next live entry, or None if empty.
 
         The entry is ``(time, seq, fn, args, event-or-None)``; a non-None
         event is marked consumed (late cancels become no-ops).
         """
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            event = entry[4]
-            if event is not None:
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                event.consumed = True
-            return entry
-        return None
+        while True:
+            if self._reentry:
+                self._merge_reentry()
+            batch = self._batch
+            bi = self._bi
+            n = len(batch)
+            while bi < n:
+                entry = batch[bi]
+                bi += 1
+                event = entry[4]
+                if event is not None:
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    event.consumed = True
+                self._bi = bi
+                return entry
+            self._bi = bi
+            if self._next_batch() is None:
+                return None
 
     def peek_time(self) -> float | None:
         """Return the firing time of the next live event, or None if empty."""

@@ -30,7 +30,13 @@ class NoLoss:
 
 
 class UniformLoss:
-    """Drop each receiver-leg independently with probability ``p``."""
+    """Drop each receiver-leg independently with probability ``p``.
+
+    The degenerate probabilities short-circuit without consuming a random
+    draw (matching :class:`TunableLoss`): ``UniformLoss(0.0)`` is
+    stream-equivalent to :class:`NoLoss`, so swapping one for the other
+    cannot perturb an otherwise identical seeded run.
+    """
 
     def __init__(self, p: float) -> None:
         if not 0.0 <= p <= 1.0:
@@ -38,7 +44,12 @@ class UniformLoss:
         self.p = p
 
     def should_drop(self, rng: random.Random, src: str, dst: str, size: int) -> bool:
-        return rng.random() < self.p
+        p = self.p
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return rng.random() < p
 
 
 class TunableLoss:

@@ -6,16 +6,24 @@ events in time order, advancing the clock instantaneously between them.
 There is no wall-clock anywhere in the library: simulated seconds are the
 only notion of time, which is what makes throughput/latency experiments
 reproducible and hardware-independent (see DESIGN.md, substitution rule).
+
+The queue is the calendar queue of ``events.py``: events live in time
+buckets and :meth:`Simulator.run` drains one sorted bucket *batch* at a
+time instead of heap-popping per event. The batch being drained lives on
+the queue itself (``_batch`` plus the ``_bi`` read index, kept current
+between callbacks), so ``EventQueue.peek_entry`` — and therefore the
+completion strips in ``server.py`` — always see the exact global
+``(time, seq)`` frontier even mid-run.
 """
 
 from __future__ import annotations
 
 import sys
-from heapq import heappop as _heappop, heappush as _heappush
+from heapq import heappush as _heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
-from .events import Event, EventQueue
+from .events import _MASK, NBUCKETS as _NB, Event, EventQueue
 from .rng import RandomStreams
 
 __all__ = ["Simulator", "observe_simulators"]
@@ -24,21 +32,48 @@ __all__ = ["Simulator", "observe_simulators"]
 # layer (``repro.obs``) uses this to attach probes/profilers to simulators
 # it never gets a direct reference to (e.g. those built inside benchmark
 # runners). Empty by default, so normal runs pay nothing.
-_simulator_observers: list[Callable[["Simulator"], None]] = []
+_simulator_observers: list["_Registration"] = []
+
+
+class _Registration:
+    """One observer registration; a unique token per ``observe_*`` call.
+
+    Registries store these instead of raw callbacks so that removal can
+    key on the *registration* (identity semantics — no ``__eq__``), not
+    the callback value: registering the same callback twice yields two
+    independent removers, and each remover is idempotent.
+    """
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[..., None]) -> None:
+        self.callback = callback
+
+
+def _register_observer(
+    registry: list[_Registration], callback: Callable[..., None]
+) -> Callable[[], None]:
+    """Append ``callback`` to ``registry``; return its idempotent remover."""
+    registration = _Registration(callback)
+    registry.append(registration)
+
+    def remove() -> None:
+        try:
+            registry.remove(registration)  # identity match on the token
+        except ValueError:
+            pass  # already removed: removers are idempotent
+
+    return remove
 
 
 def observe_simulators(callback: Callable[["Simulator"], None]) -> Callable[[], None]:
     """Call ``callback(sim)`` for every Simulator created from now on.
 
-    Returns a zero-argument remover that uninstalls the observer.
+    Returns a zero-argument remover that uninstalls this registration
+    (and only this one: double-registering the same callback yields two
+    independent removers, each safe to call more than once).
     """
-    _simulator_observers.append(callback)
-
-    def remove() -> None:
-        if callback in _simulator_observers:
-            _simulator_observers.remove(callback)
-
-    return remove
+    return _register_observer(_simulator_observers, callback)
 
 
 class Simulator:
@@ -59,29 +94,34 @@ class Simulator:
     (2.0, ['hello'])
     """
 
-    # Fixed layout: `self.now` / `self._heap` / `self._probe` are read on
-    # every simulated event, and slot access is measurably cheaper than a
-    # dict lookup at that frequency.
+    # Fixed layout: `self.now` / the queue aliases / `self._probe` are read
+    # on every simulated event, and slot access is measurably cheaper than
+    # a dict lookup at that frequency.
     __slots__ = (
-        "now", "random", "_queue", "_heap", "_seq",
-        "_events_executed", "_running", "_probe",
+        "now", "random", "_queue", "_ring", "_ids", "_reentry", "_overflow",
+        "_seq", "_events_executed", "_running", "_run_until", "_probe",
     )
 
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.random = RandomStreams(seed)
         self._queue = EventQueue()
-        # Aliases of the queue's heap list and seq counter: EventQueue
-        # never rebinds either, so post/post_at can skip a pointer hop on
-        # the hottest scheduling path.
-        self._heap = self._queue._heap
+        # Aliases of the queue's tier lists and seq counter: EventQueue
+        # never rebinds them (resizes mutate in place), so post/post_at can
+        # skip a pointer hop on the hottest scheduling path. The width and
+        # cursor DO change on resize and are always read via the queue.
+        self._ring = self._queue._ring
+        self._ids = self._queue._ids
+        self._reentry = self._queue._reentry
+        self._overflow = self._queue._overflow
         self._seq = self._queue._seq
         self._events_executed = 0
         self._running = False
+        self._run_until: float | None = None  # active run(until=...) bound
         self._probe = None  # ProbeBus | None; None keeps the hot path bare
         if _simulator_observers:
-            for callback in list(_simulator_observers):
-                callback(self)
+            for registration in list(_simulator_observers):
+                registration.callback(self)
 
     # ------------------------------------------------------------------
     # Observability
@@ -132,9 +172,30 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
-        # push_fast inlined (same package): one call frame less on the
-        # single hottest function in a protocol run.
-        _heappush(self._heap, (self.now + delay, next(self._seq), fn, args, None))
+        # EventQueue._push_entry inlined (same package): one call frame
+        # less on the single hottest function in a protocol run. The
+        # common case — a near-future push into a ring bucket — is a
+        # bare list append.
+        t = self.now + delay
+        queue = self._queue
+        b = int(t * queue._winv)
+        d = b - queue._cursor
+        if 0 < d < _NB:
+            ring = self._ring
+            s = b & _MASK
+            lst = ring[s]
+            if lst:
+                lst.append((t, next(self._seq), fn, args, None))
+            else:
+                if lst is None:
+                    ring[s] = [(t, next(self._seq), fn, args, None)]
+                else:
+                    lst.append((t, next(self._seq), fn, args, None))
+                _heappush(self._ids, b)
+        elif d <= 0:
+            self._reentry.append((t, next(self._seq), fn, args, None))
+        else:
+            _heappush(self._overflow, (t, next(self._seq), fn, args, None))
 
     def post_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
         """Fast path: run ``fn(*args)`` at absolute ``time``; not cancellable."""
@@ -142,7 +203,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, clock is already at t={self.now!r}"
             )
-        _heappush(self._heap, (time, next(self._seq), fn, args, None))
+        queue = self._queue
+        b = int(time * queue._winv)
+        d = b - queue._cursor
+        if 0 < d < _NB:
+            ring = self._ring
+            s = b & _MASK
+            lst = ring[s]
+            if lst:
+                lst.append((time, next(self._seq), fn, args, None))
+            else:
+                if lst is None:
+                    ring[s] = [(time, next(self._seq), fn, args, None)]
+                else:
+                    lst.append((time, next(self._seq), fn, args, None))
+                _heappush(self._ids, b)
+        elif d <= 0:
+            self._reentry.append((time, next(self._seq), fn, args, None))
+        else:
+            _heappush(self._overflow, (time, next(self._seq), fn, args, None))
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
@@ -176,133 +255,249 @@ class Simulator:
         """Run events until the queue empties, ``until`` passes, or the budget.
 
         When ``until`` is given the clock is advanced exactly to ``until``
-        on return (even if the last event fired earlier), so back-to-back
-        ``run(until=...)`` calls partition simulated time cleanly.
+        on return whenever no runnable event at or before ``until``
+        remains (even if the last event fired earlier, and even if an
+        event budget ran out at the same moment the window drained), so
+        back-to-back ``run(until=...)`` calls partition simulated time
+        cleanly. When a ``max_events`` budget stops the run while events
+        at or before ``until`` are still pending, the clock stays at the
+        last executed event.
 
-        This is the simulator's hottest loop, so it is fused: one heap
-        inspection per event (peek the top, then pop it) instead of the
-        ``peek_time()`` + ``step()``/``pop()`` pair, with the heap and the
-        cancellation filter inlined. Semantics are identical to calling
+        This is the simulator's hottest loop, so it is fused with the
+        calendar queue (same package): the loop drains the queue's
+        current sorted batch by index, keeping ``queue._bi`` current so
+        that callbacks peeking the queue (completion strips) see the
+        exact frontier. Pushes into the batch being drained land on the
+        reentry list and are merge-sorted in front of the read index
+        before the next event fires. Semantics are identical to calling
         :meth:`step` in a loop.
+
+        ``max_events`` counts kernel dispatches; completions swept in a
+        batch by a completion strip ride on one dispatch (they still
+        count towards :attr:`events_executed`).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._run_until = until
         executed = 0
+        queue = self._queue
+        reentry = self._reentry
+        next_batch = queue._next_batch
+        merge = queue._merge_reentry
+        # Hoist the optional budget out of the loop: an absent budget
+        # becomes maxsize, so the body carries one plain comparison.
+        # No past-time check in any loop: every insert path
+        # (schedule/at/post/post_at) already rejects times behind the
+        # clock, and batches are consumed in sorted order.
+        budget = max_events if max_events is not None else sys.maxsize
         try:
-            # Inlined from EventQueue (same package): entries are
-            # (time, seq, fn, args, event-or-None), cancelled entries are
-            # dropped lazily at the top — see events.py.
-            queue = self._queue
-            heap = queue._heap
-            heappop = _heappop
-            # Hoist the optional budget out of the loop: an absent budget
-            # becomes maxsize, so the body carries one plain comparison.
-            # No past-time check in either loop: every insert path
-            # (schedule/at/post/post_at) already rejects times behind the
-            # clock, and the heap only hands times out in order.
-            budget = max_events if max_events is not None else sys.maxsize
-            exhausted = True
             if until is None and max_events is None:
                 # Run-to-empty variant (the overwhelmingly common call):
-                # nothing ever needs to stay on the heap, so pop first and
-                # skip the peek, and there is no budget to compare against.
-                while heap:
-                    time, seq, fn, args, event = heappop(heap)
-                    if event is not None:
-                        if event.cancelled:
-                            queue._cancelled -= 1
-                            continue
-                        event.consumed = True
-                    self.now = time
-                    executed += 1
-                    # Re-read the probe every iteration: callbacks may
-                    # attach or detach a bus mid-run. One test when absent.
+                # no budget or window to compare against, and executed
+                # events are counted per batch segment instead of per
+                # event (segment length minus cancelled skips).
+                while True:
+                    if reentry:
+                        merge()
+                    batch = queue._batch
+                    bi = queue._bi
+                    n = len(batch)
+                    if bi >= n:
+                        if next_batch() is None:
+                            break
+                        batch = queue._batch
+                        bi = 0
+                        n = len(batch)
+                    start = bi
+                    skipped = 0
+                    # Probe re-read once per batch: a batch spans one
+                    # bucket (a handful of events), so a mid-run attach
+                    # takes effect within microseconds of simulated time.
                     probe = self._probe
-                    if probe is not None and probe.wants("sim.event"):
-                        probe.emit(
-                            "sim.event",
-                            time,
-                            getattr(fn, "__qualname__", None) or repr(fn),
-                            seq=seq,
-                        )
-                    # Empty-args callbacks (completion ticks, timer pokes)
-                    # take the plain CALL path instead of CALL_FUNCTION_EX.
-                    if args:
-                        fn(*args)
-                    else:
-                        fn()
+                    wants = probe is not None and probe.wants("sim.event")
+                    try:
+                        while bi < n:
+                            entry = batch[bi]
+                            bi += 1
+                            queue._bi = bi
+                            time, seq, fn, args, event = entry
+                            if event is not None:
+                                if event.cancelled:
+                                    skipped += 1
+                                    continue
+                                event.consumed = True
+                            self.now = time
+                            if wants:
+                                probe.emit(
+                                    "sim.event",
+                                    time,
+                                    getattr(fn, "__qualname__", None) or repr(fn),
+                                    seq=seq,
+                                )
+                            # Empty-args callbacks (completion ticks, timer
+                            # pokes) take the plain CALL path, not
+                            # CALL_FUNCTION_EX.
+                            if args:
+                                fn(*args)
+                            else:
+                                fn()
+                            if queue._batch is not batch:
+                                # A callback's peek exhausted this batch
+                                # and installed the next one; re-enter the
+                                # outer loop to pick it up.
+                                break
+                            if reentry:
+                                merge()
+                                n = len(batch)
+                    finally:
+                        # try/finally is free on the no-exception path
+                        # (zero-cost exceptions); this keeps the segment
+                        # accounting exact when a callback raises.
+                        executed += bi - start - skipped
+                        if skipped:
+                            queue._cancelled -= skipped
             elif until is None:
                 # Unbounded-time variant with an event budget.
-                while heap:
-                    if executed >= budget:
-                        exhausted = False  # stopped by budget: events remain
-                        break
-                    time, seq, fn, args, event = heappop(heap)
-                    if event is not None:
-                        if event.cancelled:
-                            queue._cancelled -= 1
-                            continue
-                        event.consumed = True
-                    self.now = time
-                    executed += 1
+                stop = False
+                while not stop:
+                    if reentry:
+                        merge()
+                    batch = queue._batch
+                    bi = queue._bi
+                    n = len(batch)
+                    if bi >= n:
+                        if next_batch() is None:
+                            break
+                        batch = queue._batch
+                        bi = 0
+                        n = len(batch)
                     probe = self._probe
-                    if probe is not None and probe.wants("sim.event"):
-                        probe.emit(
-                            "sim.event",
-                            time,
-                            getattr(fn, "__qualname__", None) or repr(fn),
-                            seq=seq,
-                        )
-                    # Empty-args callbacks (completion ticks, timer pokes)
-                    # take the plain CALL path instead of CALL_FUNCTION_EX.
-                    if args:
-                        fn(*args)
-                    else:
-                        fn()
+                    wants = probe is not None and probe.wants("sim.event")
+                    while bi < n:
+                        if executed >= budget:
+                            stop = True  # budget spent: events remain queued
+                            break
+                        entry = batch[bi]
+                        bi += 1
+                        queue._bi = bi
+                        time, seq, fn, args, event = entry
+                        if event is not None:
+                            if event.cancelled:
+                                queue._cancelled -= 1
+                                continue
+                            event.consumed = True
+                        self.now = time
+                        executed += 1
+                        if wants:
+                            probe.emit(
+                                "sim.event",
+                                time,
+                                getattr(fn, "__qualname__", None) or repr(fn),
+                                seq=seq,
+                            )
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                        if queue._batch is not batch:
+                            break
+                        if reentry:
+                            merge()
+                            n = len(batch)
             else:
-                while heap:
-                    if executed >= budget:
-                        exhausted = False
-                        break
-                    time, seq, fn, args, event = heap[0]
-                    if event is not None and event.cancelled:
-                        heappop(heap)
-                        queue._cancelled -= 1
-                        continue
-                    if time > until:
-                        break
-                    heappop(heap)
-                    if event is not None:
-                        event.consumed = True
-                    self.now = time
-                    executed += 1
+                # Bounded-time variant (with or without a budget). The
+                # window check runs before the budget check so that a
+                # simultaneously exhausted budget cannot mask "nothing
+                # left to run before `until`" (the epilogue below peeks
+                # the queue either way, so the clock lands on `until`
+                # exactly when the window is drained).
+                stop = False
+                while not stop:
+                    if reentry:
+                        merge()
+                    batch = queue._batch
+                    bi = queue._bi
+                    n = len(batch)
+                    if bi >= n:
+                        if next_batch() is None:
+                            break
+                        batch = queue._batch
+                        bi = 0
+                        n = len(batch)
                     probe = self._probe
-                    if probe is not None and probe.wants("sim.event"):
-                        probe.emit(
-                            "sim.event",
-                            time,
-                            getattr(fn, "__qualname__", None) or repr(fn),
-                            seq=seq,
-                        )
-                    # Empty-args callbacks (completion ticks, timer pokes)
-                    # take the plain CALL path instead of CALL_FUNCTION_EX.
-                    if args:
-                        fn(*args)
-                    else:
-                        fn()
-            if exhausted and until is not None and until > self.now:
-                self.now = until
+                    wants = probe is not None and probe.wants("sim.event")
+                    while bi < n:
+                        entry = batch[bi]
+                        if entry[0] > until:
+                            # Reentry is merged before every event, so no
+                            # earlier event can still be pending.
+                            stop = True
+                            break
+                        if executed >= budget:
+                            stop = True
+                            break
+                        bi += 1
+                        queue._bi = bi
+                        time, seq, fn, args, event = entry
+                        if event is not None:
+                            if event.cancelled:
+                                queue._cancelled -= 1
+                                continue
+                            event.consumed = True
+                        self.now = time
+                        executed += 1
+                        if wants:
+                            probe.emit(
+                                "sim.event",
+                                time,
+                                getattr(fn, "__qualname__", None) or repr(fn),
+                                seq=seq,
+                            )
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                        if queue._batch is not batch:
+                            break
+                        if reentry:
+                            merge()
+                            n = len(batch)
+                if until > self.now:
+                    # Advance the clock to the end of the window iff no
+                    # runnable event at or before `until` remains — this
+                    # holds regardless of WHY the loop stopped, which is
+                    # what fixes the budget-and-window-simultaneous case.
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > until:
+                        self.now = until
+                        # Drag the calendar cursor up to the clock so the
+                        # idle window is not re-scanned bucket by bucket.
+                        # Safe: every remaining entry has time > until,
+                        # i.e. bucket >= int(until * winv) > b.
+                        b = int(until * queue._winv) - 1
+                        if b > queue._cursor:
+                            queue._cursor = b
         finally:
             self._events_executed += executed
             self._running = False
+            self._run_until = None
 
     @property
     def events_executed(self) -> int:
-        """Total number of events executed since construction."""
+        """Total number of events executed since construction.
+
+        Includes completions swept in batches by the resource models'
+        completion strips (each sweep is one kernel dispatch but counts
+        every completion it fires).
+        """
         return self._events_executed
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events currently queued."""
+        """Number of live (non-cancelled) events currently queued.
+
+        Completions held by a resource's completion strip are represented
+        by that strip's single armed kernel event.
+        """
         return len(self._queue)

@@ -20,6 +20,38 @@ def test_event_queue_pops_in_nondecreasing_time_order(times):
     assert popped == sorted(times)
 
 
+_DELAYS = [0.0, 1e-7, 5e-7, 3e-6, 5e-5, 2e-3, 0.04, 0.2, 5.0]
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_calendar_queue_matches_reference_heap(data):
+    """Interleaved pushes and pops deliver the exact (time, seq) heap order.
+
+    The calendar layout (buckets, overflow tier, reentry list, adaptive
+    width) is storage only: for any schedule it must be indistinguishable
+    from a sorted heap of (time, seq) keys.
+    """
+    import heapq
+
+    q = EventQueue()
+    ref = []  # reference heap of (time, seq)
+    now = 0.0
+    for _ in range(data.draw(st.integers(10, 200))):
+        if ref and data.draw(st.booleans()):
+            entry = q.pop_entry()
+            assert (entry[0], entry[1]) == heapq.heappop(ref)
+            now = entry[0]
+        else:
+            t = now + data.draw(st.sampled_from(_DELAYS))
+            q.push_fast(t, lambda: None)
+            heapq.heappush(ref, (t, next(q._seq) - 1))
+    while ref:
+        entry = q.pop_entry()
+        assert (entry[0], entry[1]) == heapq.heappop(ref)
+    assert q.pop_entry() is None
+
+
 @given(
     times=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=2, max_size=100),
     cancel_idx=st.data(),

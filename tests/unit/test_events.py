@@ -1,6 +1,6 @@
 """Unit tests for the event queue primitives."""
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 
 
 def test_push_and_pop_in_time_order():
@@ -130,66 +130,167 @@ def test_simulator_cancel_after_fire_keeps_pending_count_sane():
 
 
 # ---------------------------------------------------------------------------
-# Single-scan queue primitives (stubbed heap operations)
+# Calendar-queue mechanics: batches, tiers, and cancellation accounting
 # ---------------------------------------------------------------------------
-class _HeapStub:
-    """Counts heap operations while delegating to the real heapq."""
+def _counting_next_batch(monkeypatch, installs):
+    """Patch EventQueue._next_batch to count batch installations."""
+    real = EventQueue._next_batch
 
-    def __init__(self):
-        import heapq
+    def counting(self):
+        batch = real(self)
+        if batch is not None:
+            installs.append(len(batch))
+        return batch
 
-        self._real = heapq
-        self.pushes = 0
-        self.pops = 0
-
-    def heappush(self, heap, item):
-        self.pushes += 1
-        self._real.heappush(heap, item)
-
-    def heappop(self, heap):
-        self.pops += 1
-        return self._real.heappop(heap)
+    monkeypatch.setattr(EventQueue, "_next_batch", counting)
 
 
-def test_peek_then_pop_is_a_single_scan(monkeypatch):
-    import repro.sim.events as ev
-
-    stub = _HeapStub()
-    monkeypatch.setattr(ev, "heapq", stub)
+def test_peek_is_a_pure_read(monkeypatch):
+    installs = []
+    _counting_next_batch(monkeypatch, installs)
     q = EventQueue()
     q.push(1.0, lambda: None)
     q.push(2.0, lambda: None)
-    entry = q.peek_entry()  # pure read: no heap op
-    assert entry[0] == 1.0
-    assert stub.pops == 0
-    assert q.pop_entry() == entry  # one pop removes what peek returned
-    assert stub.pops == 1
-
-
-def test_cancelled_head_is_dropped_once_not_per_inspection(monkeypatch):
-    import repro.sim.events as ev
-
-    stub = _HeapStub()
-    monkeypatch.setattr(ev, "heapq", stub)
-    q = EventQueue()
-    doomed = q.push(1.0, lambda: None)
-    q.push(2.0, lambda: None)
-    q.cancel(doomed)
-    # peek drops the cancelled head (one pop) and returns the live entry;
-    # the queue never re-walks it on the following peeks or the pop.
     entry = q.peek_entry()
-    assert entry[0] == 2.0
-    assert stub.pops == 1
+    assert entry[0] == 1.0
+    # Repeated peeks return the same entry without consuming it and
+    # without touching the calendar again.
+    batches_after_first_peek = len(installs)
     assert q.peek_entry() is entry
-    assert stub.pops == 1
-    q.pop_entry()
-    assert stub.pops == 2
+    assert len(installs) == batches_after_first_peek
+    assert len(q) == 2
+    assert q.pop_entry() is entry  # pop consumes exactly what peek saw
+    assert len(q) == 1
+
+
+def test_same_bucket_burst_is_one_batch_install(monkeypatch):
+    # All entries land in one bucket (same time), so draining the queue
+    # installs a single batch — the structural win over a per-event heap.
+    installs = []
+    _counting_next_batch(monkeypatch, installs)
+    q = EventQueue()
+    for _ in range(100):
+        q.push_fast(1e-6, lambda: None)
+    drained = 0
+    while q.pop_entry() is not None:
+        drained += 1
+    assert drained == 100
+    assert installs == [100]
+
+
+def test_cancelled_entries_are_skipped_with_exact_accounting():
+    q = EventQueue()
+    fired = []
+    keep_a = q.push(1e-6, fired.append, ("a",))
+    doomed = q.push(1e-6, fired.append, ("x",))
+    keep_b = q.push(1e-6, fired.append, ("b",))
+    q.cancel(doomed)
+    assert len(q) == 2
+    # peek scans past the cancelled middle entry without consuming it...
+    assert q.peek_entry()[4] is keep_a
+    assert len(q) == 2
+    # ...and pops drop it exactly once, leaving the live count exact.
+    assert q.pop_entry()[4] is keep_a
+    assert q.pop_entry()[4] is keep_b
     assert len(q) == 0
+    assert q._cancelled == 0
+    assert fired == []
+
+
+def test_wholly_cancelled_batch_is_flushed_by_peek():
+    q = EventQueue()
+    doomed = q.push(1e-6, lambda: None)
+    live = q.push(1.0, lambda: None)  # far enough out to be a later bucket
+    q.cancel(doomed)
+    entry = q.peek_entry()
+    assert entry[4] is live
+    # The cancelled batch was discarded during the refill, so the debt
+    # counter is settled rather than left to offset a buried tombstone.
+    assert q._cancelled == 0
+    assert len(q) == 1
 
 
 def test_push_fast_allocates_no_event():
     q = EventQueue()
     q.push_fast(1.0, lambda: None)
-    assert q._heap[0][4] is None  # no Event handle on the fast path
+    assert q.peek_entry()[4] is None  # no Event handle on the fast path
     entry = q.pop_entry()
     assert entry[4] is None
+
+
+def test_far_future_events_use_overflow_tier():
+    from repro.sim.events import NBUCKETS
+
+    q = EventQueue()
+    horizon = NBUCKETS / q._winv  # ring horizon at the initial width
+    q.push_fast(horizon * 10, lambda: None)
+    assert len(q._overflow) == 1
+    assert q._ids == []  # nothing occupies the ring
+    q.push_fast(1e-6, lambda: None)
+    assert len(q._ids) == 1
+    # Delivery order is still the (time, seq) total order across tiers,
+    # and the overflow entry migrates out when the cursor reaches it.
+    assert q.pop_entry()[0] == 1e-6
+    assert q.pop_entry()[0] == horizon * 10
+    assert q._overflow == []
+    assert q.pop_entry() is None
+
+
+def test_reentry_push_during_drain_keeps_total_order():
+    q = EventQueue()
+    q.push_fast(1e-7, lambda: None)  # seq 0
+    q.push_fast(4e-7, lambda: None)  # seq 1, same bucket at the initial width
+    first = q.pop_entry()
+    assert first[0] == 1e-7
+    # The bucket is now being drained; a push into it lands on the
+    # reentry list and must still fire in (time, seq) position.
+    q.push_fast(2e-7, lambda: None)  # seq 2, between the two above
+    assert q.peek_entry()[0] == 2e-7
+    assert [q.pop_entry()[0] for _ in range(2)] == [2e-7, 4e-7]
+    assert q.pop_entry() is None
+
+
+def test_calendar_order_matches_reference_heap_on_random_schedules():
+    # The calendar layout is storage only: delivery must be the exact
+    # (time, seq) total order a plain sorted heap would produce, for any
+    # mix of delays, cancels, and interleaved pops.
+    import heapq
+    import random
+
+    delays = [0.0, 1e-7, 5e-7, 3e-6, 5e-5, 2e-3, 0.04, 0.2, 5.0]
+    for seed in range(10):
+        rng = random.Random(seed)
+        q = EventQueue()
+        reference = []  # heap of (time, seq) for live entries
+        now = 0.0
+        popped = []
+        expected = []
+        cancellable = []
+        for _ in range(400):
+            action = rng.random()
+            if action < 0.55 or not reference:
+                t = now + rng.choice(delays)
+                if rng.random() < 0.3:
+                    cancellable.append(q.push(t, lambda: None))
+                    heapq.heappush(reference, (t, cancellable[-1].seq))
+                else:
+                    q.push_fast(t, lambda: None)
+                    heapq.heappush(reference, (t, next(q._seq) - 1))
+            elif action < 0.7 and cancellable:
+                victim = cancellable.pop(rng.randrange(len(cancellable)))
+                q.cancel(victim)
+                if not victim.consumed:
+                    reference.remove((victim.time, victim.seq))
+                    heapq.heapify(reference)
+            else:
+                entry = q.pop_entry()
+                assert entry is not None
+                popped.append((entry[0], entry[1]))
+                expected.append(heapq.heappop(reference))
+                now = entry[0]
+        while (entry := q.pop_entry()) is not None:
+            popped.append((entry[0], entry[1]))
+            expected.append(heapq.heappop(reference))
+        assert not reference
+        assert popped == expected
+        assert popped == sorted(popped)

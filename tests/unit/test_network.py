@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.sim import Network, Node, Simulator, UniformLoss
+from repro.sim import Network, NoLoss, Node, Simulator, UniformLoss
 
 
 def make_net(n=3, **kwargs):
@@ -154,6 +154,42 @@ def test_loss_statistics_roughly_match_probability():
         net.send("a", "b", "app", i, size=16)
     sim.run()
     assert 600 <= len(got) <= 800  # ~700 expected
+
+
+def test_degenerate_loss_probabilities_consume_no_rng_draws():
+    import random
+
+    rng = random.Random(42)
+    model = UniformLoss(0.0)
+    for _ in range(5):
+        assert model.should_drop(rng, "a", "b", 64) is False
+    assert rng.random() == random.Random(42).random()
+    rng = random.Random(42)
+    assert UniformLoss(1.0).should_drop(rng, "a", "b", 64) is True
+    assert rng.random() == random.Random(42).random()
+
+
+def test_zero_loss_phase_is_trace_equal_to_no_loss():
+    # Regression: UniformLoss(0.0) used to burn one rng draw per receiver
+    # leg, so a lossless warm-up phase desynchronized the loss stream and
+    # changed which messages a later positive-p phase dropped.
+    def run(warmup_loss):
+        sim = Simulator(seed=3)
+        net = Network(sim, loss=warmup_loss)
+        net.add_node(Node(sim, "a"))
+        b = net.add_node(Node(sim, "b"))
+        got = []
+        b.register("app", lambda src, msg: got.append((sim.now, msg)))
+        for i in range(50):
+            net.send("a", "b", "app", ("warm", i), size=16)
+        sim.run()
+        net.loss = UniformLoss(0.4)
+        for i in range(200):
+            net.send("a", "b", "app", ("lossy", i), size=16)
+        sim.run()
+        return got
+
+    assert run(UniformLoss(0.0)) == run(NoLoss())
 
 
 def test_nic_counters():

@@ -1,0 +1,97 @@
+"""Unit tests for the perf report/baseline machinery (no benchmarks run)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import (
+    DEFAULT_BASELINE_PATH,
+    check_min_speedups,
+    compare_to_baseline,
+    load_report,
+    parse_min_speedup,
+    update_baseline,
+    write_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _entry(value, higher=True):
+    return {"value": value, "unit": "x/s", "higher_is_better": higher}
+
+
+def test_parse_min_speedup():
+    assert parse_min_speedup("kernel_events_per_sec=2.5") == ("kernel_events_per_sec", 2.5)
+    with pytest.raises(ValueError):
+        parse_min_speedup("no-equals-sign")
+    with pytest.raises(ValueError):
+        parse_min_speedup("name=not-a-number")
+    with pytest.raises(ValueError):
+        parse_min_speedup("name=-1")
+
+
+def test_check_min_speedups_passes_and_fails():
+    ratios = {"kernel_events_per_sec": 5.0, "timer_churn_per_sec": 1.2}
+    assert check_min_speedups(ratios, {"kernel_events_per_sec": 3.0}) == []
+    failures = check_min_speedups(ratios, {"timer_churn_per_sec": 1.5})
+    assert len(failures) == 1 and "1.20x" in failures[0]
+    # A gate on a benchmark with no recorded ratio fails loudly: a gain
+    # that cannot be measured is not a gain that landed.
+    failures = check_min_speedups({}, {"kernel_events_per_sec": 3.0})
+    assert len(failures) == 1 and "no speedup recorded" in failures[0]
+
+
+def test_compare_to_baseline_both_metric_directions():
+    current = {"up": _entry(50.0), "down": _entry(2.0, higher=False)}
+    baseline = {"up": _entry(100.0), "down": _entry(1.0, higher=False)}
+    failures = compare_to_baseline(current, baseline, max_regression=0.30)
+    assert len(failures) == 2  # 50% slower throughput, 2x slower wall time
+    assert compare_to_baseline(baseline, baseline, max_regression=0.30) == []
+
+
+def test_update_baseline_records_per_mode_provenance(tmp_path):
+    path = tmp_path / "baseline.json"
+    update_baseline(path, "full", {"k": _entry(100.0)}, note="heap kernel")
+    update_baseline(path, "quick", {"k": _entry(50.0)})
+    data = json.loads(path.read_text())
+    full = data["modes"]["full"]
+    assert full["note"] == "heap kernel"
+    assert full["recorded_at"] and full["host"]
+    assert "note" not in data["modes"]["quick"]
+    # Re-recording one mode leaves the other's provenance untouched.
+    update_baseline(path, "quick", {"k": _entry(60.0)}, note="calendar kernel")
+    data = json.loads(path.read_text())
+    assert data["modes"]["full"]["note"] == "heap kernel"
+    assert data["modes"]["quick"]["note"] == "calendar kernel"
+
+
+def test_write_report_surfaces_baseline_provenance_and_speedup(tmp_path):
+    base_path = tmp_path / "baseline.json"
+    update_baseline(
+        base_path, "full",
+        {"k": _entry(100.0), "t": _entry(2.0, higher=False)},
+        note="heap kernel",
+    )
+    baseline = load_report(base_path)
+    out = tmp_path / "report.json"
+    report = write_report(
+        out, "full",
+        {"k": _entry(500.0), "t": _entry(1.0, higher=False)},
+        baseline,
+    )
+    assert report["speedup"]["k"] == pytest.approx(5.0)
+    assert report["speedup"]["t"] == pytest.approx(2.0)
+    assert report["baseline"]["note"] == "heap kernel"
+    assert report["baseline"]["recorded_at"]
+    assert json.loads(out.read_text())["baseline"]["note"] == "heap kernel"
+
+
+def test_committed_baseline_carries_provenance_note():
+    # The repo's committed baseline must say which kernel generation its
+    # numbers measure, so recorded speedups are attributable.
+    data = load_report(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    assert data is not None
+    for mode in ("full", "quick"):
+        assert "pre-calendar" in data["modes"][mode]["note"]

@@ -122,58 +122,55 @@ def test_different_streams_are_independent():
 
 
 # ---------------------------------------------------------------------------
-# Fused run loop: one heap inspection per event
+# Fused run loop: batch drains, not per-event heap operations
 # ---------------------------------------------------------------------------
-def _counting_heappop(counter):
-    import repro.sim.simulator as sim_mod
+def _count_batch_installs(monkeypatch, installs):
+    from repro.sim.events import EventQueue
 
-    real = sim_mod._heappop
+    real = EventQueue._next_batch
 
-    def counting(heap):
-        counter.append(len(heap))
-        return real(heap)
+    def counting(self):
+        batch = real(self)
+        if batch is not None:
+            installs.append(len(batch))
+        return batch
 
-    return counting
+    monkeypatch.setattr(EventQueue, "_next_batch", counting)
 
 
-def test_run_does_one_heap_pop_per_event(monkeypatch):
-    import repro.sim.simulator as sim_mod
-
-    pops = []
-    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+def test_run_drains_a_same_time_burst_as_one_batch(monkeypatch):
+    installs = []
+    _count_batch_installs(monkeypatch, installs)
     sim = Simulator()
     fired = []
     for i in range(100):
-        sim.post(i * 1e-3, fired.append, i)
+        sim.post(1e-3, fired.append, i)
     sim.run()
     assert fired == list(range(100))
-    # The fused loop pays exactly one heap pop per executed event — no
-    # separate peek walk (the pre-fusion loop paid two scans per event).
-    assert len(pops) == 100
+    # One bucket, one sorted batch: the fused loop pays a single calendar
+    # scan for the whole burst (the pre-calendar loop paid an O(log n)
+    # heap pop per event).
+    assert installs == [100]
+    assert sim.events_executed == 100
 
 
-def test_run_until_does_one_heap_pop_per_event(monkeypatch):
-    import repro.sim.simulator as sim_mod
-
-    pops = []
-    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+def test_run_until_leaves_later_events_stored():
     sim = Simulator()
     fired = []
     for i in range(50):
-        sim.post(0.1 + i * 1e-3, fired.append, i)
+        sim.post(0.1 + i * 1e-6, fired.append, i)
     sim.post(10.0, fired.append, "late")
     sim.run(until=1.0)
     assert fired == list(range(50))
-    # 50 executed events = 50 pops; the event beyond ``until`` stays on
-    # the heap after a peek that costs zero pops.
-    assert len(pops) == 50
+    # The event beyond ``until`` is peeked but never consumed: it stays
+    # stored, and a later run picks it up.
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired[-1] == "late"
+    assert sim.pending_events == 0
 
 
-def test_cancelled_event_costs_one_pop(monkeypatch):
-    import repro.sim.simulator as sim_mod
-
-    pops = []
-    monkeypatch.setattr(sim_mod, "_heappop", _counting_heappop(pops))
+def test_cancelled_event_is_skipped_without_dispatch():
     sim = Simulator()
     fired = []
     doomed = sim.schedule(0.5, fired.append, "cancelled")
@@ -181,5 +178,116 @@ def test_cancelled_event_costs_one_pop(monkeypatch):
     sim.cancel(doomed)
     sim.run()
     assert fired == ["kept"]
-    # One pop discards the cancelled entry, one pop executes the live one.
-    assert len(pops) == 2
+    # The tombstone is discarded inside the drain, not dispatched:
+    assert sim.events_executed == 1
+    assert sim.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# run(until=..., max_events=...) interplay
+# ---------------------------------------------------------------------------
+def test_budget_and_window_exhaust_simultaneously_advances_clock():
+    # Regression: when the budget ran out on the last event inside the
+    # window, the clock used to stay at that event instead of advancing
+    # to ``until`` like an unbudgeted run would.
+    sim = Simulator()
+    fired = []
+    for t in (0.5, 1.0, 1.5):
+        sim.post(t, fired.append, t)
+    sim.post(5.0, fired.append, 5.0)  # beyond the window
+    sim.run(until=2.0, max_events=3)
+    assert fired == [0.5, 1.0, 1.5]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_budget_stop_with_runnable_events_keeps_clock():
+    sim = Simulator()
+    fired = []
+    for t in (0.5, 1.0, 1.5):
+        sim.post(t, fired.append, t)
+    sim.run(until=2.0, max_events=2)
+    assert fired == [0.5, 1.0]
+    # An event at t=1.5 <= until is still runnable, so the clock must NOT
+    # jump past it.
+    assert sim.now == 1.0
+    assert sim.pending_events == 1
+    sim.run(until=2.0)
+    assert fired == [0.5, 1.0, 1.5]
+    assert sim.now == 2.0
+
+
+def test_window_drained_under_budget_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.post(0.5, fired.append, 0.5)
+    sim.post(3.0, fired.append, 3.0)
+    sim.run(until=2.0, max_events=100)
+    assert fired == [0.5]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_zero_budget_runs_nothing_and_keeps_clock():
+    sim = Simulator()
+    fired = []
+    sim.post(0.5, fired.append, 0.5)
+    sim.run(until=1.0, max_events=0)
+    assert fired == []
+    # The pending event precedes ``until``, so the clock may not advance.
+    assert sim.now == 0.0
+    sim.run(until=1.0)
+    assert fired == [0.5]
+    assert sim.now == 1.0
+
+
+def test_zero_budget_on_empty_window_still_advances_clock():
+    sim = Simulator()
+    sim.post(5.0, lambda: None)
+    sim.run(until=1.0, max_events=0)
+    assert sim.now == 1.0  # nothing runnable inside the window
+
+
+# ---------------------------------------------------------------------------
+# Observer registration tokens
+# ---------------------------------------------------------------------------
+def test_observe_simulators_double_registration_is_independent():
+    from repro.sim.simulator import observe_simulators
+
+    seen = []
+    remove_a = observe_simulators(seen.append)
+    remove_b = observe_simulators(seen.append)  # same callback, twice
+    try:
+        Simulator()
+        assert len(seen) == 2
+        remove_a()  # removes only its own registration...
+        Simulator()
+        assert len(seen) == 3
+        remove_a()  # ...and is idempotent
+        Simulator()
+        assert len(seen) == 4
+    finally:
+        remove_a()
+        remove_b()
+    Simulator()
+    assert len(seen) == 4
+
+
+def test_observe_networks_double_registration_is_independent():
+    from repro.sim.network import Network, observe_networks
+
+    seen = []
+    remove_a = observe_networks(seen.append)
+    remove_b = observe_networks(seen.append)
+    try:
+        Network(Simulator())
+        assert len(seen) == 2
+        remove_b()
+        remove_b()  # idempotent
+        Network(Simulator())
+        assert len(seen) == 3
+    finally:
+        remove_a()
+        remove_b()
+    Network(Simulator())
+    assert len(seen) == 3
