@@ -53,7 +53,7 @@ from .errors import (
     ReproError,
     SimulationError,
 )
-from .sim import Network, Node, Simulator
+from .sim import GeoNetwork, Network, Node, Simulator, Topology, WanLink
 
 __version__ = "1.0.0"
 
@@ -61,6 +61,7 @@ __all__ = [
     "BufferOverflowError",
     "ConfigurationError",
     "DeterministicMerge",
+    "GeoNetwork",
     "GroupRegistry",
     "MultiRingConfig",
     "MultiRingLearner",
@@ -76,6 +77,8 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SkipManager",
+    "Topology",
+    "WanLink",
     "oracle_watch",
     "bytes_per_s_to_mbps",
     "mbps_to_bytes_per_s",

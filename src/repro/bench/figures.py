@@ -18,6 +18,8 @@ are byte-identical regardless of job count.
 
 from __future__ import annotations
 
+import inspect
+
 from ..parallel import Spec, run_sweep
 from ..workload.rates import ModulatedRate, ScaledRate, StepRate
 from .plots import ascii_multi_series
@@ -327,6 +329,67 @@ def related_mencius():
     return rows, table
 
 
+def figure_geo(quick: bool = False):
+    """Geo-distribution: the three "Stretching Multi-Ring Paxos" shapes.
+
+    Three sections over the multi-datacenter fabric: stretching one ring
+    member across a WAN hop leaves throughput flat (section 1) while
+    decision latency tracks the slowest member's RTT wherever it sits in
+    the ring (section 2), and the latency-aware in-region ring placement
+    beats a ring pinned a hop away (section 3). ``quick=True`` shortens
+    the measurement windows for CI smoke runs.
+    """
+    timing = {"duration": 0.6, "warmup": 0.3} if quick else {}
+
+    def geo_point(runner: str, **kwargs) -> Spec:
+        kwargs.update(timing)
+        return Spec(fn=f"repro.bench.geo:{runner}", kwargs=kwargs, label=f"{runner}:{kwargs}")
+
+    stretch_grid = [(far, 0) for far in (0.0, 5.0, 25.0, 50.0)]
+    slowest_grid = [(far, pos) for far in (5.0, 25.0, 50.0) for pos in (0, 1)]
+    placement_grid = ["local", "remote"]
+    specs = (
+        [geo_point("run_geo_ring_point", far_ms=far, far_position=pos)
+         for far, pos in stretch_grid + slowest_grid]
+        + [geo_point("run_geo_placement_point", placement=p) for p in placement_grid]
+    )
+    results = run_sweep(specs)
+    stretch = results[: len(stretch_grid)]
+    slowest = results[len(stretch_grid): len(stretch_grid) + len(slowest_grid)]
+    placement = results[len(stretch_grid) + len(slowest_grid):]
+
+    rows = {
+        "stretch": [
+            (far, r.delivered_mbps, r.latency_ms, r.cpu_pct)
+            for (far, _), r in zip(stretch_grid, stretch)
+        ],
+        "slowest": [
+            (far, pos, r.extra["slowest_rtt_ms"], r.latency_ms)
+            for (far, pos), r in zip(slowest_grid, slowest)
+        ],
+        "placement": [
+            (p, r.extra["ring_region"], r.delivered_mbps, r.latency_ms)
+            for p, r in zip(placement_grid, placement)
+        ],
+    }
+    table = format_table(
+        "Geo 1: throughput while stretching one ring member across the WAN",
+        ["far one-way ms", "delivered Mbps", "latency ms", "coord CPU %"],
+        rows["stretch"],
+    )
+    table += "\n\n" + format_table(
+        "Geo 2: decision latency tracks the slowest member's WAN RTT",
+        ["far one-way ms", "ring position", "slowest RTT ms", "latency ms"],
+        rows["slowest"],
+    )
+    table += "\n\n" + format_table(
+        "Geo 3: in-region vs cross-region ring placement (25 ms WAN)",
+        ["placement", "ring region", "delivered Mbps", "latency ms"],
+        rows["placement"],
+    )
+    return rows, table
+
+
 FIGURES = {
     "fig1": figure1,
     "fig2": figure2,
@@ -339,15 +402,22 @@ FIGURES = {
     "fig11": figure11,
     "fig12": figure12,
     "mencius": related_mencius,
+    "geo": figure_geo,
 }
 
 
-def run_figure(name: str):
-    """Run one named figure; returns (data, table_text)."""
+def run_figure(name: str, quick: bool = False):
+    """Run one named figure; returns (data, table_text).
+
+    ``quick=True`` shortens measurement windows on figures that support
+    it (those taking a ``quick`` keyword); others run at full size.
+    """
     try:
         fn = FIGURES[name]
     except KeyError:
         raise KeyError(
             f"unknown figure {name!r}; available: {', '.join(sorted(FIGURES))}"
         ) from None
+    if quick and "quick" in inspect.signature(fn).parameters:
+        return fn(quick=True)
     return fn()

@@ -57,6 +57,7 @@ __all__ = [
     "bench_fig1_runner",
     "bench_multiring_runner",
     "bench_fuzz_round",
+    "bench_geo_runner",
     "bench_fig5_sweep",
     "run_suite",
     "compare_to_baseline",
@@ -258,6 +259,32 @@ def bench_fuzz_round(seeds: tuple[int, ...] = (1234, 1235, 1236, 1237, 1238),
     return _entry(best, "s", False, seeds=list(seeds), events_checked=checked)
 
 
+def bench_geo_runner(
+    far_ms: float = 25.0, duration: float = 0.5, warmup_s: float = 0.25, repeat: int = 2
+) -> dict:
+    """Wall seconds for one geo point: a WAN-stretched ring plus the
+    cross-region placement deployment.
+
+    The GeoNetwork send path adds per-message region lookups and, for
+    cross-region traffic, a WAN-link FIFO hop; this entry pins that
+    overhead so the geo fabric cannot silently slow the simulator.
+    """
+    from .geo import run_geo_placement_point, run_geo_ring_point
+
+    def run():
+        stretch = run_geo_ring_point(far_ms, duration=duration, warmup=warmup_s)
+        placement = run_geo_placement_point(
+            "remote", wan_ms=far_ms, duration=duration, warmup=warmup_s
+        )
+        return stretch, placement
+
+    (stretch, placement), best = time_call(run, repeat=repeat, warmup=1)
+    return _entry(best, "s", False,
+                  far_ms=far_ms, duration=duration,
+                  stretch_mbps=round(stretch.delivered_mbps, 3),
+                  placement_mbps=round(placement.delivered_mbps, 3))
+
+
 def bench_fig5_sweep(
     jobs: int | str = 4,
     n_list: tuple[int, ...] = (1, 2, 4, 4),
@@ -333,6 +360,7 @@ def run_suite(mode: str = "full", verbose: bool = True, jobs: int | str = 4) -> 
             ("fig1_runner_s", lambda: bench_fig1_runner()),
             ("fig5_multiring_s", lambda: bench_multiring_runner()),
             ("fuzz_round_s", lambda: bench_fuzz_round()),
+            ("geo_runner_s", lambda: bench_geo_runner()),
             ("fig5_sweep_parallel_s", lambda: bench_fig5_sweep(jobs=jobs)),
         ]
     elif mode == "quick":
@@ -343,6 +371,8 @@ def run_suite(mode: str = "full", verbose: bool = True, jobs: int | str = 4) -> 
             ("fig5_multiring_s",
              lambda: bench_multiring_runner(n_rings=2, duration=0.4, warmup_s=0.2, repeat=1)),
             ("fuzz_round_s", lambda: bench_fuzz_round(seeds=(1234, 1235), repeat=1)),
+            ("geo_runner_s",
+             lambda: bench_geo_runner(duration=0.3, warmup_s=0.15, repeat=1)),
             ("fig5_sweep_parallel_s",
              lambda: bench_fig5_sweep(jobs=jobs, n_list=(1, 2), duration=0.3, warmup_s=0.15)),
         ]

@@ -41,6 +41,7 @@ from ..core.config import MultiRingConfig
 from ..core.deployment import MultiRingPaxos
 from ..sim.faults import NetworkPartition
 from ..sim.loss import TunableLoss
+from ..sim.topology import Topology as GeoTopology
 from ..smr.kvstore import KeyValueStore
 from ..smr.partitioning import RangePartitioner
 from ..smr.replica import Replica
@@ -87,6 +88,9 @@ class CaseConfig:
     profile: str = "default"
     replicas: int = 0
     checkpoint_interval: int = 0
+    regions: int = 1
+    wan_ms: float = 0.0
+    wan_jitter_ms: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -105,6 +109,9 @@ class CaseConfig:
             "profile": self.profile,
             "replicas": self.replicas,
             "checkpoint_interval": self.checkpoint_interval,
+            "regions": self.regions,
+            "wan_ms": self.wan_ms,
+            "wan_jitter_ms": self.wan_jitter_ms,
         }
 
     @classmethod
@@ -168,6 +175,15 @@ def draw_config(rng: random.Random, profile: str = "default") -> CaseConfig:
         n_partitions = config.n_groups - 1
         config.replicas = 2 * n_partitions
         config.checkpoint_interval = rng.choice([4, 8, 16])
+    elif profile == "geo":
+        # Additional draws on top of the frozen base: a multi-datacenter
+        # fabric. Groups spread round-robin over regions, so learners and
+        # rings land in different datacenters and the WAN links carry the
+        # protocol traffic the geo schedule then cuts and jitters.
+        config.profile = profile
+        config.regions = rng.randint(2, 3)
+        config.wan_ms = float(rng.choice([5, 15, 30]))
+        config.wan_jitter_ms = round(rng.uniform(0.5, 3.0), 2)
     elif profile != "default":
         raise ValueError(f"unknown fuzz profile {profile!r}")
     return config
@@ -190,6 +206,15 @@ def _build(config: CaseConfig):
     """Deployment + fault hooks + oracles for one case."""
     loss = TunableLoss()
     partition = NetworkPartition(set(), underlying=loss)
+    topology = None
+    group_regions = None
+    if config.regions > 1:
+        topology = GeoTopology(
+            [f"dc{i}" for i in range(config.regions)],
+            wan_latency=config.wan_ms * 1e-3,
+            wan_jitter=config.wan_jitter_ms * 1e-3,
+        )
+        group_regions = [f"dc{g % config.regions}" for g in range(config.n_groups)]
     mrp = MultiRingPaxos(
         MultiRingConfig(
             n_groups=config.n_groups,
@@ -198,6 +223,8 @@ def _build(config: CaseConfig):
             lambda_rate=config.lambda_rate,
             delta=config.delta,
             seed=config.sim_seed,
+            topology=topology,
+            group_regions=group_regions,
         )
     )
     mrp.network.loss = partition
@@ -205,8 +232,13 @@ def _build(config: CaseConfig):
     # Plain learners first: schedule targets index mrp.learners, and
     # replica-owned learners (appended by Replica below) must not shift
     # the indices the default-profile corpus schedules were drawn for.
+    # Geo learners stay region-local (the add_learner default); proposers
+    # spread round-robin over regions so submissions cross the WAN.
     learners = [mrp.add_learner(groups=list(subs)) for subs in config.learners]
-    proposers = [mrp.add_proposer() for _ in range(config.n_proposers)]
+    proposers = [
+        mrp.add_proposer(region=f"dc{i % config.regions}" if topology is not None else None)
+        for i in range(config.n_proposers)
+    ]
     replicas = []
     if config.replicas:
         partitioner = RangePartitioner(max(1, config.n_groups - 1))
@@ -483,10 +515,11 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=None,
                         help="override the per-case fault/workload window (s)")
     parser.add_argument("--profile", default="default",
-                        choices=("default", "restart-heavy"),
-                        help="fault/config mix: 'default' (balanced) or "
+                        choices=("default", "restart-heavy", "geo"),
+                        help="fault/config mix: 'default' (balanced), "
                              "'restart-heavy' (crash/restart churn with "
-                             "checkpointing replicas)")
+                             "checkpointing replicas), or 'geo' (multi-"
+                             "datacenter with WAN partitions and jitter)")
     parser.add_argument("--grace", type=float, default=6.0,
                         help="liveness grace after forced heal (simulated s)")
     parser.add_argument("--out", default="fuzz-failures",

@@ -34,11 +34,14 @@ class Topology:
 
     ``crash_targets`` are role names the schedule runner resolves
     (``coordinator:R``, ``acceptor:R:I``, ``learner:I``, ``proposer:I``);
-    ``nodes`` are machine names eligible for partition islands.
+    ``nodes`` are machine names eligible for partition islands;
+    ``wan_pairs`` are region pairs whose WAN link can be cut (empty on a
+    single-switch fabric).
     """
 
     crash_targets: tuple[str, ...]
     nodes: tuple[str, ...]
+    wan_pairs: tuple[tuple[str, str], ...] = ()
 
 
 def topology_of(mrp: "MultiRingPaxos") -> Topology:
@@ -52,7 +55,20 @@ def topology_of(mrp: "MultiRingPaxos") -> Topology:
         targets.append(f"learner:{i}")
     for i in range(len(mrp.proposers)):
         targets.append(f"proposer:{i}")
-    return Topology(crash_targets=tuple(targets), nodes=tuple(sorted(mrp.network.nodes)))
+    wan_pairs: tuple[tuple[str, str], ...] = ()
+    geo = getattr(mrp.network, "topology", None)
+    if geo is not None:
+        regions = geo.regions
+        wan_pairs = tuple(
+            (a, b)
+            for i, a in enumerate(regions)
+            for b in regions[i + 1:]
+        )
+    return Topology(
+        crash_targets=tuple(targets),
+        nodes=tuple(sorted(mrp.network.nodes)),
+        wan_pairs=wan_pairs,
+    )
 
 
 def _phase_windows(
@@ -86,11 +102,14 @@ def generate_schedule(
     from a separate branch (free to evolve): several short crash/restart
     pairs, every crash restarted on-schedule, aimed at the recovery
     paths — durable-acceptor replay, learner catch-up, checkpoint
-    restore.
+    restore. ``"geo"`` cuts and heals WAN links and spikes their jitter
+    (plus light crash churn) for multi-region deployments.
     """
     lo, hi = 0.05 * duration, 0.85 * duration
     if profile == "restart-heavy":
         return _restart_heavy_schedule(rng, topology, duration, lo, hi)
+    if profile == "geo":
+        return _geo_schedule(rng, topology, duration, lo, hi)
     if profile != "default":
         raise ValueError(f"unknown schedule profile {profile!r}")
     steps: list[ScheduleStep] = []
@@ -168,5 +187,57 @@ def _restart_heavy_schedule(
         island = tuple(sorted(rng.sample(list(topology.nodes), k)))
         steps.append(ScheduleStep(start, "partition", island=island))
         steps.append(ScheduleStep(end, "heal"))
+
+    return Schedule(steps)
+
+
+def _geo_schedule(
+    rng: random.Random, topology: Topology, duration: float, lo: float, hi: float
+) -> Schedule:
+    """The WAN mix: link partitions and jitter spikes, plus light churn.
+
+    Every fault here stresses the geo layer: a cut WAN link severs whole
+    regions from each other (proposer retransmission and learner repair
+    must span the heal), and a jitter spike multiplies every link's
+    configured jitter — reordering pressure the per-link FIFO clamp must
+    absorb. A little crash/restart churn keeps the node-level recovery
+    paths honest in the same runs.
+    """
+    steps: list[ScheduleStep] = []
+    pairs = topology.wan_pairs
+
+    # WAN partition windows: the headline fault of this profile.
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(1, 2)):
+        if not pairs:
+            break
+        pair = rng.choice(pairs)
+        steps.append(ScheduleStep(start, "wan_partition", island=pair))
+        steps.append(ScheduleStep(end, "wan_heal"))
+
+    # Jitter spikes: amplify the configured jitter for a window.
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 2)):
+        steps.append(ScheduleStep(start, "wan_jitter", factor=round(rng.uniform(3.0, 12.0), 2)))
+        steps.append(ScheduleStep(end, "wan_jitter_end"))
+
+    # Light crash/restart churn on top.
+    for _ in range(rng.randint(0, 2)):
+        target = rng.choice(topology.crash_targets)
+        t = rng.uniform(lo, hi)
+        steps.append(ScheduleStep(t, "crash", target=target))
+        if rng.random() < 0.8:
+            dt = rng.uniform(0.05, 0.3) * duration
+            steps.append(ScheduleStep(min(t + dt, hi), "restart", target=target))
+
+    if not steps:
+        # Degenerate draw: force one WAN cut (or a crash pair without
+        # any WAN links) so the schedule always injects a fault.
+        t = rng.uniform(lo, 0.5 * (lo + hi))
+        if pairs:
+            steps.append(ScheduleStep(t, "wan_partition", island=rng.choice(pairs)))
+            steps.append(ScheduleStep(min(t + 0.2 * duration, hi), "wan_heal"))
+        else:
+            target = rng.choice(topology.crash_targets)
+            steps.append(ScheduleStep(t, "crash", target=target))
+            steps.append(ScheduleStep(min(t + 0.2 * duration, hi), "restart", target=target))
 
     return Schedule(steps)

@@ -38,6 +38,8 @@ ACTIONS = (
     "loss", "loss_end",
     "slow_net", "slow_net_end",
     "slow_disk", "slow_disk_end",
+    "wan_partition", "wan_heal",
+    "wan_jitter", "wan_jitter_end",
 )
 
 
@@ -46,7 +48,8 @@ class ScheduleStep:
     """One fault event on the timeline.
 
     Fields are action-dependent: ``target`` for crash/restart, ``island``
-    for partition, ``p`` for loss phases, ``factor`` for slow phases.
+    for partition (node names) and wan_partition (the two region names),
+    ``p`` for loss phases, ``factor`` for slow and wan_jitter phases.
     """
 
     time: float
@@ -212,6 +215,17 @@ class ScheduleRunner:
             self.faults.act_at(t, f"slow_disk /{step.factor:g}", self._scale_disks, step.factor)
         elif action == "slow_disk_end":
             self.faults.act_at(t, "slow_disk_end", self._scale_disks, 1.0)
+        elif action == "wan_partition":
+            assert step.island is not None and len(step.island) == 2
+            a, b = step.island
+            self.faults.act_at(t, f"wan_partition {a}|{b}", self._wan_partition, a, b)
+        elif action == "wan_heal":
+            self.faults.act_at(t, "wan_heal", self._wan_heal)
+        elif action == "wan_jitter":
+            assert step.factor is not None
+            self.faults.act_at(t, f"wan_jitter x{step.factor:g}", self._wan_jitter, step.factor)
+        elif action == "wan_jitter_end":
+            self.faults.act_at(t, "wan_jitter_end", self._wan_jitter, 1.0)
 
     # ------------------------------------------------------------------
     # Step actions
@@ -280,6 +294,24 @@ class ScheduleRunner:
     def _set_delay(self, factor: float) -> None:
         self.mrp.network.propagation_delay = self._base_delay * factor
 
+    # WAN steps resolve against the network lazily (and no-op on a
+    # single-switch fabric), so one schedule file stays applicable to
+    # both kinds of deployment — like role targets that no longer exist.
+    def _wan_partition(self, a: str, b: str) -> None:
+        network = self.mrp.network
+        if hasattr(network, "partition_wan"):
+            network.partition_wan(a, b)
+
+    def _wan_heal(self) -> None:
+        network = self.mrp.network
+        if hasattr(network, "heal_wan"):
+            network.heal_wan()
+
+    def _wan_jitter(self, factor: float) -> None:
+        network = self.mrp.network
+        if hasattr(network, "set_wan_jitter_scale"):
+            network.set_wan_jitter_scale(factor)
+
     def _scale_disks(self, factor: float) -> None:
         for name, base_rate in self._base_disk_rates.items():
             self.mrp.network.nodes[name].disk.drain.rate = base_rate / factor
@@ -300,6 +332,8 @@ class ScheduleRunner:
         self.loss.set(0.0)
         self._set_delay(1.0)
         self._scale_disks(1.0)
+        self._wan_heal()
+        self._wan_jitter(1.0)
         for ring_id, handle in self.mrp.rings.items():
             for i, acceptor in enumerate(handle.acceptors):
                 if acceptor.crashed:

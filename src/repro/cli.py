@@ -72,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(CPU count, the default); 1 runs everything in-process",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorten measurement windows on experiments that support it "
+        "(currently: geo) — CI smoke mode",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk result cache",
@@ -148,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             started = time.time()
             before = cache.stats() if cache is not None else None
-            _, table = run_figure(name)
+            _, table = run_figure(name, quick=args.quick)
             elapsed = time.time() - started
             print()
             print(table)

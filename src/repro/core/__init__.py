@@ -11,6 +11,7 @@ from .deployment import MultiRingPaxos, RingHandle
 from .groups import Group, GroupRegistry
 from .learner import MultiRingLearner
 from .merge import DeterministicMerge
+from .placement import place_rings
 from .proposer import MultiRingProposer
 from .skip import SkipManager
 
@@ -24,4 +25,5 @@ __all__ = [
     "MultiRingProposer",
     "RingHandle",
     "SkipManager",
+    "place_rings",
 ]

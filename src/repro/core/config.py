@@ -14,9 +14,13 @@ algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..calibration import BATCH_SIZE_BYTES, BATCH_TIMEOUT_S
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.topology import Topology
 
 __all__ = ["MultiRingConfig"]
 
@@ -48,6 +52,16 @@ class MultiRingConfig:
     buffer_limit:
         Learner merge-buffer capacity in logical instances; overflowing it
         halts the learner (Figure 10).
+    topology:
+        A :class:`~repro.sim.topology.Topology` for multi-datacenter
+        deployments; None (the default) keeps the single-switch fabric.
+    group_regions:
+        Region per group — where that group's subscribers (learners,
+        replicas, proposers) live. Drives latency-aware ring placement;
+        defaults to every group in the topology's first region.
+    ring_regions:
+        Explicit region per ring, overriding latency-aware placement
+        (used to force deliberately bad layouts in experiments).
     """
 
     n_groups: int = 1
@@ -66,6 +80,9 @@ class MultiRingConfig:
     spares_per_ring: int = 0
     auto_failover: bool = False
     suspect_timeout: float = 0.05
+    topology: "Topology | None" = None
+    group_regions: list[str] | None = None
+    ring_regions: list[str] | None = None
 
     def __post_init__(self) -> None:
         if self.n_groups < 1:
@@ -82,6 +99,20 @@ class MultiRingConfig:
             raise ConfigurationError("invalid spares/suspect_timeout")
         if self.auto_failover and self.acceptors_per_ring < 2:
             raise ConfigurationError("failover needs a surviving acceptor per ring")
+        if self.topology is None:
+            if self.group_regions is not None or self.ring_regions is not None:
+                raise ConfigurationError("regions require a topology")
+        else:
+            if self.group_regions is not None and len(self.group_regions) != self.n_groups:
+                raise ConfigurationError(
+                    "group_regions must name one region per group "
+                    f"({len(self.group_regions)} regions for {self.n_groups} groups)"
+                )
+            if self.ring_regions is not None and len(self.ring_regions) != self.n_rings:
+                raise ConfigurationError(
+                    "ring_regions must name one region per ring "
+                    f"({len(self.ring_regions)} regions for {self.n_rings} rings)"
+                )
 
     def ring_of_group(self, group_id: int) -> int:
         """The ring ordering messages of ``group_id``."""
@@ -89,3 +120,13 @@ class MultiRingConfig:
             raise ConfigurationError(f"unknown group {group_id}")
         assert self.n_rings is not None
         return group_id % self.n_rings
+
+    def region_of_group(self, group_id: int) -> str | None:
+        """The subscriber region of ``group_id`` (None without a topology)."""
+        if self.topology is None:
+            return None
+        if not 0 <= group_id < self.n_groups:
+            raise ConfigurationError(f"unknown group {group_id}")
+        if self.group_regions is None:
+            return self.topology.default_region
+        return self.group_regions[group_id]

@@ -33,9 +33,11 @@ from ..ringpaxos.reconfig import RingFailover
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.simulator import Simulator
+from ..sim.topology import GeoNetwork
 from .config import MultiRingConfig
 from .groups import GroupRegistry
 from .learner import MultiRingLearner
+from .placement import place_rings
 from .proposer import MultiRingProposer
 from .skip import SkipManager
 
@@ -65,7 +67,15 @@ class MultiRingPaxos:
     ) -> None:
         self.config = config if config is not None else MultiRingConfig()
         self.sim = sim if sim is not None else Simulator(seed=self.config.seed)
-        self.network = network if network is not None else Network(self.sim)
+        if network is not None:
+            self.network = network
+        elif self.config.topology is not None:
+            self.network = GeoNetwork(self.sim, self.config.topology)
+        else:
+            self.network = Network(self.sim)
+        # Ring id -> region, from latency-aware placement (empty without a
+        # topology). Computed once: reconfiguration keeps a ring in place.
+        self.ring_placement = place_rings(self.config)
         # One root registry for the whole deployment; every role creates
         # its metrics in a labeled child (ring=i, role=..., node=...).
         self.metrics = MetricsRegistry()
@@ -84,8 +94,20 @@ class MultiRingPaxos:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _add_node(self, node: Node, region: str | None) -> Node:
+        """Attach ``node``; in ``region`` when placement assigned one."""
+        if region is None:
+            return self.network.add_node(node)
+        if not hasattr(self.network, "region_of"):
+            raise ConfigurationError(
+                f"node {node.name!r} is placed in region {region!r} but the "
+                "network has no regions (use a GeoNetwork)"
+            )
+        return self.network.add_node(node, region=region)
+
     def _build_ring(self, ring_id: int) -> RingHandle:
         cfg = self.config
+        region = self.ring_placement.get(ring_id)
         acc_names = [f"mr{ring_id}-acc{i}" for i in range(cfg.acceptors_per_ring - 1)]
         acc_names.append(f"mr{ring_id}-coord")
         ring_config = RingConfig(
@@ -96,6 +118,7 @@ class MultiRingPaxos:
             batch_timeout=cfg.batch_timeout,
             window=cfg.window,
             suspect_timeout=cfg.suspect_timeout,
+            acceptor_regions=[region] * len(acc_names) if region is not None else None,
         )
         nodes = []
         for name in acc_names:
@@ -105,7 +128,7 @@ class MultiRingPaxos:
                 disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S if cfg.durable else None,
                 disk_buffer_bytes=DISK_BUFFER_BYTES,
             )
-            self.network.add_node(node)
+            self._add_node(node, region)
             nodes.append(node)
         coordinator = RingCoordinator(
             self.sim, self.network, nodes[-1], ring_config, metrics=self.metrics
@@ -129,7 +152,7 @@ class MultiRingPaxos:
                 disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S if cfg.durable else None,
                 disk_buffer_bytes=DISK_BUFFER_BYTES,
             )
-            self.network.add_node(spare)
+            self._add_node(spare, region)
             spares.append(spare)
         handle = RingHandle(
             config=ring_config,
@@ -166,20 +189,25 @@ class MultiRingPaxos:
         on_deliver: Callable[[int, ClientValue], None] | None = None,
         name: str | None = None,
         disk_bandwidth: float | None = None,
+        region: str | None = None,
     ) -> MultiRingLearner:
         """Attach a new learner node subscribed to ``groups``.
 
         ``disk_bandwidth`` gives the learner's node a disk — needed when
         the learner backs a checkpointing replica, whose snapshot writes
-        are billed against it.
+        are billed against it. On a geo topology the learner is
+        region-local by default: it lands in the subscriber region of its
+        first group unless ``region`` says otherwise.
         """
         for gid in groups:
             if gid not in self.registry:
                 raise ConfigurationError(f"unknown group {gid}")
         if name is None:
             name = f"mr-lrn{self._learner_count}"
+        if region is None and groups:
+            region = self.config.region_of_group(groups[0])
         node = Node(self.sim, name, disk_bandwidth=disk_bandwidth)
-        self.network.add_node(node)
+        self._add_node(node, region)
         learner = MultiRingLearner(
             self.sim,
             self.network,
@@ -198,12 +226,14 @@ class MultiRingPaxos:
         self.learners.append(learner)
         return learner
 
-    def add_proposer(self, name: str | None = None) -> MultiRingProposer:
+    def add_proposer(
+        self, name: str | None = None, region: str | None = None
+    ) -> MultiRingProposer:
         """Attach a new proposer node (it can multicast to any group)."""
         if name is None:
             name = f"mr-prop{self._proposer_count}"
         node = Node(self.sim, name)
-        self.network.add_node(node)
+        self._add_node(node, region)
         proposer = MultiRingProposer(
             self.sim, self.network, node, self.registry, self.ring_configs,
             metrics=self.metrics,

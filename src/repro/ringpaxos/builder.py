@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..calibration import DISK_BANDWIDTH_BYTES_PER_S, DISK_BUFFER_BYTES
+from ..errors import ConfigurationError
 from ..metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.node import Node
@@ -24,6 +25,23 @@ from .learner import RingLearner
 from .proposer import RingProposer
 
 __all__ = ["RingDeployment", "build_ring"]
+
+
+def _attach(network: Network, node: Node, region: str | None, bandwidth=None) -> Node:
+    """Add ``node`` to ``network``, in ``region`` when one is requested.
+
+    The region keyword exists only on :class:`~repro.sim.topology.
+    GeoNetwork`; passing one to a single-switch network is a
+    configuration error rather than a silent collapse to one site.
+    """
+    if region is None:
+        return network.add_node(node, bandwidth)
+    if not hasattr(network, "region_of"):
+        raise ConfigurationError(
+            f"node {node.name!r} requests region {region!r} but the network "
+            "has no regions (use a GeoNetwork)"
+        )
+    return network.add_node(node, bandwidth, region=region)
 
 
 @dataclass(slots=True)
@@ -49,6 +67,9 @@ def build_ring(
     learner_nodes: list[Node] | None = None,
     on_deliver=None,
     metrics: MetricsRegistry | None = None,
+    acceptor_regions: list[str] | None = None,
+    learner_regions: list[str] | None = None,
+    proposer_regions: list[str] | None = None,
     **config_kwargs,
 ) -> RingDeployment:
     """Create nodes and roles for one ring and wire them together.
@@ -57,20 +78,32 @@ def build_ring(
     ``r{ring_id}-lrn{i}`` / ``r{ring_id}-prop{i}``. Pass pre-existing
     ``learner_nodes`` to attach this ring's learners to shared machines
     (how Multi-Ring learners subscribe to several rings).
+
+    On a :class:`~repro.sim.topology.GeoNetwork`, ``acceptor_regions``
+    (one region per acceptor, ring order — the last is the coordinator),
+    ``learner_regions``, and ``proposer_regions`` pin each node to a
+    region; this is how a ring is *stretched* across datacenters.
     """
     acc_names = [f"r{ring_id}-acc{i}" for i in range(n_acceptors - 1)]
     acc_names.append(f"r{ring_id}-coord")
-    config = RingConfig(ring_id=ring_id, acceptors=acc_names, durable=durable, **config_kwargs)
+    config = RingConfig(
+        ring_id=ring_id, acceptors=acc_names, durable=durable,
+        acceptor_regions=acceptor_regions, **config_kwargs,
+    )
+    if learner_regions is not None and len(learner_regions) != n_learners:
+        raise ConfigurationError("learner_regions must name one region per learner")
+    if proposer_regions is not None and len(proposer_regions) != n_proposers:
+        raise ConfigurationError("proposer_regions must name one region per proposer")
 
     acc_nodes = []
-    for name in acc_names:
+    for i, name in enumerate(acc_names):
         node = Node(
             sim,
             name,
             disk_bandwidth=disk_bandwidth if durable else None,
             disk_buffer_bytes=DISK_BUFFER_BYTES,
         )
-        network.add_node(node)
+        _attach(network, node, acceptor_regions[i] if acceptor_regions else None)
         acc_nodes.append(node)
 
     if metrics is None:
@@ -84,7 +117,7 @@ def build_ring(
         learner_nodes = []
         for i in range(n_learners):
             node = Node(sim, f"r{ring_id}-lrn{i}")
-            network.add_node(node)
+            _attach(network, node, learner_regions[i] if learner_regions else None)
             learner_nodes.append(node)
     learners = [
         RingLearner(
@@ -97,7 +130,7 @@ def build_ring(
     proposers = []
     for i in range(n_proposers):
         node = Node(sim, f"r{ring_id}-prop{i}")
-        network.add_node(node)
+        _attach(network, node, proposer_regions[i] if proposer_regions else None)
         proposers.append(RingProposer(sim, network, node, config))
 
     return RingDeployment(

@@ -53,6 +53,10 @@ class RingConfig:
         :class:`~repro.ringpaxos.reconfig.RingFailover` watches the
         ring). Must exceed the heartbeat interval, or a merely idle
         coordinator would be suspected between beats.
+    acceptor_regions:
+        Region name per acceptor (parallel to ``acceptors``), for
+        deployments on a :class:`~repro.sim.topology.GeoNetwork`. None
+        (the default) leaves placement to the network's default region.
     """
 
     ring_id: int
@@ -68,6 +72,7 @@ class RingConfig:
     decision_flush_timeout: float = 100e-6
     piggyback_decisions: bool = True
     spares: list[str] = field(default_factory=list)
+    acceptor_regions: list[str] | None = None
 
     def __post_init__(self) -> None:
         if self.ring_id < 0:
@@ -82,6 +87,13 @@ class RingConfig:
             raise ConfigurationError(
                 "suspect_timeout must exceed heartbeat_interval "
                 f"({self.suspect_timeout:g} <= {self.heartbeat_interval:g})"
+            )
+        if self.acceptor_regions is not None and len(self.acceptor_regions) != len(
+            self.acceptors
+        ):
+            raise ConfigurationError(
+                "acceptor_regions must name one region per acceptor "
+                f"({len(self.acceptor_regions)} regions for {len(self.acceptors)} acceptors)"
             )
 
     # ------------------------------------------------------------------

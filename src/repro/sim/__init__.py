@@ -18,6 +18,7 @@ from .process import PeriodicTimer, Process, Timer
 from .rng import RandomStreams
 from .server import FifoServer
 from .simulator import Simulator
+from .topology import GeoNetwork, Topology, WanLink
 from .trace import TraceEvent, Tracer, trace_network
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "EventQueue",
     "FaultSchedule",
     "FifoServer",
+    "GeoNetwork",
     "LossModel",
     "Network",
     "NetworkPartition",
@@ -39,9 +41,11 @@ __all__ = [
     "RandomStreams",
     "Simulator",
     "Timer",
+    "Topology",
     "TunableLoss",
     "TraceEvent",
     "Tracer",
     "UniformLoss",
+    "WanLink",
     "trace_network",
 ]

@@ -75,6 +75,52 @@ def test_restart_heavy_corpus_seed_runs_clean(seed):
         assert "replica" in targets
 
 
+# Geo profile: every case deploys 2-3 regions joined by WAN links (with
+# jitter) and the schedule cuts/heals links, spikes jitter, and adds
+# light crash churn. seed: (n_groups, regions, wan_ms) — pinning the
+# drawn deployment so a generator change cannot silently shrink coverage.
+GEO_CORPUS = {
+    9001: (1, 3, 5.0),    # minimal deployment, pure WAN cut
+    9008: (3, 3, 5.0),    # durable three-ring merge across a WAN cut
+    9009: (2, 3, 15.0),   # durable, jitter spikes + crash churn
+    9015: (3, 2, 30.0),   # two partition windows + jitter, slow WAN
+    9024: (1, 2, 30.0),   # durable single ring, cut + jitter + crash
+}
+
+
+@pytest.mark.parametrize("seed", sorted(GEO_CORPUS))
+def test_geo_corpus_seed_runs_clean(seed):
+    result = run_case(seed, profile="geo")
+    assert result.ok, f"geo seed {seed} regressed: {result.message}"
+    assert result.events_checked > 100
+    expected_groups, expected_regions, expected_wan_ms = GEO_CORPUS[seed]
+    assert result.config.profile == "geo"
+    assert result.config.n_groups == expected_groups
+    assert result.config.regions == expected_regions
+    assert result.config.wan_ms == expected_wan_ms
+    actions = {s.action for s in result.schedule.steps}
+    assert "wan_partition" in actions
+
+
+def test_partial_order_holds_across_wan_partition_heal():
+    """Acceptance schedule for the geo layer: sever two regions for half
+    the run, then heal. Proposers behind the cut keep retransmitting, so
+    after the heal every multicast decides and delivers; the cross-ring
+    partial-order oracle (learners sharing groups agree on the relative
+    order of shared deliveries) and liveness-after-heal must both hold
+    across the outage. Seed 9008 deploys three durable rings over three
+    regions, so the cut severs live ring traffic, not an idle link."""
+    base = run_case(9008, profile="geo")
+    assert base.ok
+    schedule = Schedule([
+        ScheduleStep(0.3, "wan_partition", island=("dc0", "dc1")),
+        ScheduleStep(0.8, "wan_heal"),
+    ])
+    result = run_case(9008, config=base.config, schedule=schedule)
+    assert result.ok, f"WAN partition/heal broke an oracle: {result.message}"
+    assert result.events_checked > 100
+
+
 def test_acceptor_crash_restart_mid_instance_recovers():
     """Acceptance schedule: a durable in-ring acceptor dies mid-instance
     and comes back. Recovery must replay its persisted log (so it keeps

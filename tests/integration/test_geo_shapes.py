@@ -1,0 +1,65 @@
+"""The three "Stretching Multi-Ring Paxos" shapes, asserted end to end.
+
+Each test drives the same runners the ``geo`` figure uses
+(:mod:`repro.bench.geo`), at shortened measurement windows, and asserts
+the paper's qualitative claims:
+
+1. stretching one ring member across a WAN hop leaves throughput within
+   10% of the one-region deployment (pipelining hides propagation delay);
+2. decision latency tracks the *slowest* member's WAN RTT, wherever that
+   member sits in the ring;
+3. placing a group's ring inside its subscribers' region (the
+   latency-aware default) beats pinning it a WAN hop away.
+"""
+
+import pytest
+
+from repro.bench.geo import run_geo_placement_point, run_geo_ring_point
+
+QUICK = {"duration": 1.0, "warmup": 0.5}
+
+
+@pytest.fixture(scope="module")
+def one_region_baseline():
+    return run_geo_ring_point(0.0, **QUICK)
+
+
+def test_stretch_keeps_throughput_within_10_percent(one_region_baseline):
+    for far_ms in (5.0, 50.0):
+        stretched = run_geo_ring_point(far_ms, **QUICK)
+        assert stretched.delivered_mbps >= 0.9 * one_region_baseline.delivered_mbps, (
+            f"stretch {far_ms}ms collapsed throughput: "
+            f"{stretched.delivered_mbps:.1f} vs {one_region_baseline.delivered_mbps:.1f} Mbps"
+        )
+
+
+def test_latency_tracks_slowest_member_rtt(one_region_baseline):
+    base_ms = one_region_baseline.latency_ms
+    for far_ms in (5.0, 25.0, 50.0):
+        stretched = run_geo_ring_point(far_ms, **QUICK)
+        expected = base_ms + 2.0 * far_ms  # one WAN RTT: 2A out + 2B back
+        assert stretched.latency_ms == pytest.approx(expected, rel=0.15), (
+            f"stretch {far_ms}ms: latency {stretched.latency_ms:.2f}ms, "
+            f"expected ~{expected:.2f}ms (slowest member RTT {2 * far_ms}ms)"
+        )
+
+
+def test_latency_is_independent_of_the_far_members_ring_position():
+    at_head = run_geo_ring_point(25.0, far_position=0, **QUICK)
+    mid_ring = run_geo_ring_point(25.0, far_position=1, **QUICK)
+    assert mid_ring.latency_ms == pytest.approx(at_head.latency_ms, rel=0.10)
+
+
+def test_in_region_placement_beats_cross_region():
+    wan_ms = 25.0
+    local = run_geo_placement_point("local", wan_ms=wan_ms, **QUICK)
+    remote = run_geo_placement_point("remote", wan_ms=wan_ms, **QUICK)
+    # The policy put the ring with its subscribers; the override did not.
+    assert local.extra["ring_region"] == "dc1"
+    assert remote.extra["ring_region"] == "dc0"
+    # Remote placement pays the submission leg plus the decision leg over
+    # the WAN — at least one full link RTT more per delivery.
+    assert local.latency_ms < remote.latency_ms
+    assert remote.latency_ms - local.latency_ms >= 0.8 * 2.0 * wan_ms
+    # Capacity is unaffected either way: the WAN costs latency, not rate.
+    assert remote.delivered_mbps >= 0.9 * local.delivered_mbps

@@ -32,6 +32,7 @@ from repro.obs.probe import ProbeBus
 from repro.ringpaxos.builder import build_ring
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
+from repro.sim.topology import GeoNetwork, Topology
 from repro.workload import ConstantRate, OpenLoopGenerator
 
 FIXTURE = Path(__file__).parent / "golden" / "golden_traces.json"
@@ -86,10 +87,10 @@ def _subscribe(sim, network) -> list:
     return records
 
 
-def scenario_fig1() -> list:
+def scenario_fig1(make_network=Network) -> list:
     """Single In-memory ring under open-loop load (Figure 1 shape)."""
     sim = Simulator(seed=11)
-    net = Network(sim)
+    net = make_network(sim)
     ring = build_ring(sim, net, durable=False)
     records = _subscribe(sim, net)
     prop = ring.proposers[0]
@@ -102,9 +103,11 @@ def scenario_fig1() -> list:
     return records
 
 
-def scenario_three_rings() -> list:
+def scenario_three_rings(topology=None) -> list:
     """Three rings, one merging learner + one single-group learner."""
-    mrp = MultiRingPaxos(MultiRingConfig(n_groups=3, lambda_rate=2000.0, seed=7))
+    mrp = MultiRingPaxos(
+        MultiRingConfig(n_groups=3, lambda_rate=2000.0, seed=7, topology=topology)
+    )
     sim = mrp.sim
     records = _subscribe(sim, mrp.network)
     mrp.add_learner(groups=[0, 1, 2])
@@ -195,3 +198,22 @@ def test_trace_identical_under_oracle_watch(name):
 def test_repeat_run_is_bit_identical():
     # The recorder itself is deterministic: two fresh runs, same records.
     assert scenario_fig1() == scenario_fig1()
+
+
+def test_one_region_geo_network_trace_is_byte_identical():
+    # The degenerate one-region GeoNetwork must take the base Network's
+    # code paths with the same random draws in the same order: the same
+    # scenario on both fabrics yields bit-for-bit identical traces, and
+    # the geo trace matches the committed golden fixture directly.
+    geo = scenario_fig1(lambda sim: GeoNetwork(sim, Topology.single()))
+    assert geo == scenario_fig1()
+    _check_against_fixture("fig1_single_ring", geo)
+
+
+def test_one_region_geo_deployment_trace_is_byte_identical():
+    # Same equivalence through the full deployment layer: a MultiRingPaxos
+    # configured with the one-region topology (GeoNetwork + placement)
+    # reproduces the plain deployment's trace exactly.
+    geo = scenario_three_rings(topology=Topology.single())
+    assert geo == scenario_three_rings()
+    _check_against_fixture("three_rings", geo)

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics import BucketSeries, LatencyHistogram
-from repro.sim import FifoServer, Simulator
+from repro.sim import FifoServer, GeoNetwork, Node, Simulator, Topology
 from repro.sim.events import EventQueue
 
 
@@ -138,3 +138,106 @@ def test_bucket_series_conserves_total(points, width):
     total_recorded = sum(a for _, a in points)
     total_bucketed = sum(s.bucket_totals().values())
     assert abs(total_recorded - total_bucketed) < 1e-6 * max(1.0, total_recorded)
+
+
+# ---------------------------------------------------------------------------
+# WAN fabric invariants (repro.sim.topology)
+# ---------------------------------------------------------------------------
+@given(
+    jitter_ms=st.floats(0.1, 20.0, allow_nan=False),
+    gaps=st.lists(st.floats(0.0, 0.005, allow_nan=False), min_size=2, max_size=40),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_wan_link_deliveries_are_fifo_under_jitter(jitter_ms, gaps, seed):
+    """A WAN link is an ordered circuit: even when per-crossing jitter
+    would make a later frame's raw arrival earlier, deliveries at the
+    remote region come in send order at non-decreasing times."""
+    sim = Simulator(seed=seed)
+    net = GeoNetwork(
+        sim, Topology(["a", "b"], wan_latency=0.002, wan_jitter=jitter_ms * 1e-3)
+    )
+    net.add_node(Node(sim, "na"), region="a")
+    nb = net.add_node(Node(sim, "nb"), region="b")
+    got = []
+    nb.register("p", lambda src, msg: got.append((sim.now, msg)))
+    t = 0.0
+    for i, gap in enumerate(gaps):
+        t += gap
+        sim.at(t, net.send, "na", "nb", "p", i, 64)
+    sim.run()
+    assert [msg for _, msg in got] == list(range(len(gaps)))
+    times = [tt for tt, _ in got]
+    assert times == sorted(times)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 3), min_size=2, max_size=3),
+    cut=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_cross_region_multicast_is_exactly_once_to_survivors(sizes, cut, seed):
+    """One multicast: every subscriber behind a live link receives the
+    frame exactly once (one WAN crossing per region, fan-out at the
+    remote switch); subscribers behind a cut link receive nothing."""
+    sim = Simulator(seed=seed)
+    regions = [f"r{i}" for i in range(len(sizes))]
+    net = GeoNetwork(sim, Topology(regions, wan_latency=0.003))
+    counts: dict[str, int] = {}
+    for region, n in zip(regions, sizes):
+        for j in range(n):
+            name = f"{region}n{j}"
+            node = net.add_node(Node(sim, name), region=region)
+            node.register(
+                "p", lambda src, msg, name=name: counts.__setitem__(
+                    name, counts.get(name, 0) + 1
+                )
+            )
+            net.join("g", name)
+    sender = f"{regions[0]}n0"
+    if cut and len(regions) > 1:
+        net.partition_wan(regions[0], regions[-1])
+    net.multicast(sender, "g", "p", "payload", 256)
+    sim.run()
+    severed = {regions[-1]} if cut and len(regions) > 1 else set()
+    for region, n in zip(regions, sizes):
+        for j in range(n):
+            name = f"{region}n{j}"
+            expected = 0 if region in severed else 1
+            assert counts.get(name, 0) == expected, (name, counts)
+    # Each live remote region's link carried the frame exactly once.
+    for region in regions[1:]:
+        link = net._wan[(regions[0], region)]
+        assert link.messages_carried == (0 if region in severed else 1)
+
+
+@given(
+    order=st.permutations(["a0", "a1", "b0", "b1", "c0"]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_loss_is_drawn_per_leg_in_membership_order(order, seed):
+    """The geo fabric must consult the loss model once per receiver leg,
+    in group-membership order — independent of how survivors are later
+    bucketed into regions — so loss draws stay reproducible across
+    fabrics."""
+
+    class RecordingLoss:
+        def __init__(self):
+            self.legs = []
+
+        def should_drop(self, rng, src, dst, size):
+            self.legs.append(dst)
+            return False
+
+    sim = Simulator(seed=seed)
+    net = GeoNetwork(sim, Topology(["a", "b", "c"], wan_latency=0.002))
+    loss = RecordingLoss()
+    net.loss = loss
+    for name in order:
+        net.add_node(Node(sim, name), region=name[0])
+        net.join("g", name)
+    sender = order[0]
+    net.multicast(sender, "g", "p", "m", 128)
+    assert loss.legs == [n for n in order if n != sender]

@@ -1,0 +1,166 @@
+"""Unit tests for the geo topology description and ring placement."""
+
+import pytest
+
+from repro.core.config import MultiRingConfig
+from repro.core.placement import place_rings
+from repro.errors import ConfigurationError, NetworkError
+from repro.sim import GeoNetwork, Node, Simulator, Topology, WanLink
+
+
+# ---------------------------------------------------------------------------
+# Topology / WanLink validation
+# ---------------------------------------------------------------------------
+def test_wan_link_validation():
+    with pytest.raises(ConfigurationError):
+        WanLink(latency=-0.001)
+    with pytest.raises(ConfigurationError):
+        WanLink(latency=0.01, jitter=-1e-3)
+    with pytest.raises(ConfigurationError):
+        WanLink(latency=0.01, bandwidth=0.0)
+
+
+def test_topology_requires_distinct_regions_and_full_link_coverage():
+    with pytest.raises(ConfigurationError):
+        Topology([])
+    with pytest.raises(ConfigurationError):
+        Topology(["dc0", "dc0"], wan_latency=0.01)
+    # Two regions but neither a default latency nor an explicit link.
+    with pytest.raises(ConfigurationError):
+        Topology(["dc0", "dc1"])
+    # Explicit links must name known, distinct regions.
+    with pytest.raises(ConfigurationError):
+        Topology(["dc0", "dc1"], links={("dc0", "dc9"): WanLink(0.01)})
+    with pytest.raises(ConfigurationError):
+        Topology(["dc0", "dc1"], links={("dc0", "dc0"): WanLink(0.01)})
+
+
+def test_topology_links_are_symmetric_with_per_pair_overrides():
+    topo = Topology(
+        ["eu", "us", "asia"],
+        links={("eu", "us"): WanLink(0.040)},
+        wan_latency=0.100,
+    )
+    assert topo.one_way("eu", "us") == topo.one_way("us", "eu") == 0.040
+    assert topo.one_way("us", "asia") == 0.100  # the default fills the rest
+    assert topo.rtt("eu", "us") == 0.080
+    assert topo.one_way("eu", "eu") == 0.0
+    with pytest.raises(ConfigurationError):
+        topo.one_way("eu", "nowhere")
+
+
+def test_single_region_topology_is_the_degenerate_case():
+    topo = Topology.single()
+    assert topo.regions == ("dc0",)
+    assert topo.default_region == "dc0"
+    assert topo.rtt("dc0", "dc0") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# GeoNetwork region bookkeeping
+# ---------------------------------------------------------------------------
+def test_geo_network_tracks_regions_and_rejects_unknown_ones():
+    sim = Simulator(seed=1)
+    net = GeoNetwork(sim, Topology(["dc0", "dc1"], wan_latency=0.01))
+    net.add_node(Node(sim, "a"))                  # defaults to first region
+    net.add_node(Node(sim, "b"), region="dc1")
+    assert net.region_of == {"a": "dc0", "b": "dc1"}
+    assert net.nodes_in("dc1") == ["b"]
+    with pytest.raises(NetworkError):
+        net.add_node(Node(sim, "c"), region="mars")
+
+
+def test_wan_partition_and_heal_bookkeeping():
+    sim = Simulator(seed=1)
+    net = GeoNetwork(sim, Topology(["dc0", "dc1", "dc2"], wan_latency=0.01))
+    net.partition_wan("dc1", "dc0")
+    assert net.wan_links_down() == [("dc0", "dc1")]
+    net.heal_wan()
+    assert net.wan_links_down() == []
+    with pytest.raises(NetworkError):
+        net.partition_wan("dc0", "dc9")
+    with pytest.raises(ConfigurationError):
+        net.set_wan_jitter_scale(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Latency-aware placement
+# ---------------------------------------------------------------------------
+def _topo3(**kwargs):
+    return Topology(["dc0", "dc1", "dc2"], wan_latency=0.025, **kwargs)
+
+
+def test_placement_puts_each_ring_with_its_subscribers():
+    config = MultiRingConfig(
+        n_groups=3,
+        topology=_topo3(),
+        group_regions=["dc2", "dc0", "dc1"],
+    )
+    assert place_rings(config) == {0: "dc2", 1: "dc0", 2: "dc1"}
+
+
+def test_placement_tie_break_is_topology_declaration_order():
+    # One ring serving groups in dc1 and dc2 under uniform latencies:
+    # every candidate region has the same worst-case RTT, so the winner
+    # must be the earliest declared region — deterministically.
+    config = MultiRingConfig(
+        n_groups=2,
+        n_rings=1,
+        topology=_topo3(),
+        group_regions=["dc1", "dc2"],
+    )
+    assert place_rings(config) == {0: "dc0"}
+    # With a cheaper dc1<->dc2 link the tie disappears: either subscriber
+    # region now beats dc0, and dc1 wins over dc2 by declaration order.
+    config = MultiRingConfig(
+        n_groups=2,
+        n_rings=1,
+        topology=Topology(
+            ["dc0", "dc1", "dc2"],
+            links={("dc1", "dc2"): WanLink(0.002)},
+            wan_latency=0.025,
+        ),
+        group_regions=["dc1", "dc2"],
+    )
+    assert place_rings(config) == {0: "dc1"}
+
+
+def test_placement_without_topology_is_empty():
+    assert place_rings(MultiRingConfig(n_groups=2)) == {}
+
+
+def test_placement_rejects_unknown_regions():
+    with pytest.raises(ConfigurationError):
+        place_rings(
+            MultiRingConfig(
+                n_groups=1, topology=_topo3(), group_regions=["atlantis"]
+            )
+        )
+    with pytest.raises(ConfigurationError):
+        place_rings(
+            MultiRingConfig(
+                n_groups=1, topology=_topo3(), ring_regions=["atlantis"]
+            )
+        )
+
+
+def test_explicit_ring_regions_override_the_policy():
+    config = MultiRingConfig(
+        n_groups=2,
+        topology=_topo3(),
+        group_regions=["dc1", "dc1"],
+        ring_regions=["dc2", "dc0"],
+    )
+    assert place_rings(config) == {0: "dc2", 1: "dc0"}
+
+
+def test_config_region_validation():
+    with pytest.raises(ConfigurationError):
+        MultiRingConfig(n_groups=1, group_regions=["dc0"])  # no topology
+    with pytest.raises(ConfigurationError):
+        MultiRingConfig(n_groups=2, topology=_topo3(), group_regions=["dc0"])
+    with pytest.raises(ConfigurationError):
+        MultiRingConfig(n_groups=2, topology=_topo3(), ring_regions=["dc0"])
+    config = MultiRingConfig(n_groups=2, topology=_topo3(), group_regions=["dc2", "dc1"])
+    assert config.region_of_group(0) == "dc2"
+    assert MultiRingConfig(n_groups=1).region_of_group(0) is None
