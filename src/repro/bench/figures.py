@@ -390,6 +390,87 @@ def figure_geo(quick: bool = False):
     return rows, table
 
 
+def figure_clients(quick: bool = False):
+    """Client populations: latency CDFs vs population size, skew, overload.
+
+    Section 1 sweeps flyweight population size (10k to 1M sessions) and
+    key skew (uniform vs Zipf 1.1) at a fixed total offered rate: p50/
+    p99/p999 end-to-end latency stays flat because simulation (and
+    service) cost scales with the request rate, not the session count.
+    Section 2 drives an overloaded, admission-controlled deployment
+    through a coordinator outage: intake sheds and delays bound the
+    queues, timed-out sessions retry and fail over, and the tail (p999)
+    absorbs the outage instead of the system queueing unboundedly.
+    Section 3 prints the full latency CDF per scenario. ``quick=True``
+    shortens windows for CI smoke runs (the 1M-session scenario stays).
+    """
+    rate = 3000.0
+    if quick:
+        sizes, timing = [10_000, 1_000_000], {"duration": 0.4, "warmup": 0.1}
+        crash = {"crash_coordinator_at": 0.25, "restart_coordinator_at": 0.40}
+    else:
+        sizes, timing = [10_000, 100_000, 1_000_000], {"duration": 1.0, "warmup": 0.2}
+        crash = {"crash_coordinator_at": 0.45, "restart_coordinator_at": 0.70}
+    skews = [0.0, 1.1]
+
+    def clients_point(**kwargs) -> Spec:
+        kwargs.update(timing)
+        return Spec(
+            fn="repro.bench.clients:run_population_point",
+            kwargs=kwargs,
+            label=f"run_population_point:{kwargs}",
+        )
+
+    sweep_grid = [(n, s) for n in sizes for s in skews]
+    specs = [clients_point(n_sessions=n, rate=rate, zipf_s=s) for n, s in sweep_grid]
+    specs.append(clients_point(
+        n_sessions=200_000, rate=4000.0,
+        admission_inflight=64, admission_queue=128,
+        label="overload + coordinator outage", **crash,
+    ))
+    results = run_sweep(specs)
+    sweep, overload = results[:-1], results[-1]
+
+    rows = {
+        "sweep": [
+            (f"{n:,}", s, int(rate), round(r.msgs_per_s, 1),
+             round(r.extra["p50_ms"], 3), round(r.extra["p99_ms"], 3),
+             round(r.extra["p999_ms"], 3))
+            for (n, s), r in zip(sweep_grid, sweep)
+        ],
+        "overload": [
+            (overload.label, round(overload.msgs_per_s, 1),
+             round(overload.extra["p50_ms"], 3), round(overload.extra["p999_ms"], 3),
+             int(overload.extra["timeouts"]), int(overload.extra["retries"]),
+             int(overload.extra["delayed"]), int(overload.extra["shed"]),
+             int(overload.extra["abandoned"]))
+        ],
+        "cdf": [
+            (r.label, *(round(v, 3) for v, _ in r.extra["cdf_ms"]))
+            for r in results
+        ],
+    }
+    table = format_table(
+        "Clients 1: end-to-end latency vs population size and key skew "
+        f"({int(rate)} req/s offered)",
+        ["sessions", "zipf s", "offered req/s", "completed/s",
+         "p50 ms", "p99 ms", "p999 ms"],
+        rows["sweep"],
+    )
+    table += "\n\n" + format_table(
+        "Clients 2: overload + coordinator outage under admission control",
+        ["scenario", "completed/s", "p50 ms", "p999 ms", "timeouts",
+         "retries", "delayed", "shed", "abandoned"],
+        rows["overload"],
+    )
+    table += "\n\n" + format_table(
+        "Clients 3: latency CDF per scenario (ms at each cumulative decile)",
+        ["scenario"] + [f"{10 * (i + 1)}%" for i in range(10)],
+        rows["cdf"],
+    )
+    return rows, table
+
+
 FIGURES = {
     "fig1": figure1,
     "fig2": figure2,
@@ -403,6 +484,7 @@ FIGURES = {
     "fig12": figure12,
     "mencius": related_mencius,
     "geo": figure_geo,
+    "clients": figure_clients,
 }
 
 

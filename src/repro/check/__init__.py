@@ -24,10 +24,11 @@ from .driver import (
     shrink,
 )
 from .generator import Topology, generate_schedule, topology_of
-from .oracles import OracleViolation, SafetyOracles, oracle_watch
+from .oracles import AdmissionOracles, OracleViolation, SafetyOracles, oracle_watch
 from .schedule import Schedule, ScheduleRunner, ScheduleStep
 
 __all__ = [
+    "AdmissionOracles",
     "CaseConfig",
     "CaseResult",
     "OracleViolation",

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..calibration import DISK_BANDWIDTH_BYTES_PER_S
+from ..core.admission import AdmissionPolicy
 from ..core.config import MultiRingConfig
 from ..core.deployment import MultiRingPaxos
 from ..sim.faults import NetworkPartition
@@ -46,8 +47,10 @@ from ..smr.kvstore import KeyValueStore
 from ..smr.partitioning import RangePartitioner
 from ..smr.replica import Replica
 from ..smr.statemachine import Command
+from ..workload.population import ClientPopulation
+from ..workload.rates import ConstantRate
 from .generator import Topology, generate_schedule, topology_of
-from .oracles import OracleViolation, SafetyOracles
+from .oracles import AdmissionOracles, OracleViolation, SafetyOracles
 from .schedule import Schedule, ScheduleRunner
 
 __all__ = [
@@ -91,6 +94,10 @@ class CaseConfig:
     regions: int = 1
     wan_ms: float = 0.0
     wan_jitter_ms: float = 0.0
+    population_sessions: int = 0
+    population_rate: float = 0.0
+    admission_inflight: int = 0
+    admission_queue: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -112,6 +119,10 @@ class CaseConfig:
             "regions": self.regions,
             "wan_ms": self.wan_ms,
             "wan_jitter_ms": self.wan_jitter_ms,
+            "population_sessions": self.population_sessions,
+            "population_rate": self.population_rate,
+            "admission_inflight": self.admission_inflight,
+            "admission_queue": self.admission_queue,
         }
 
     @classmethod
@@ -184,6 +195,22 @@ def draw_config(rng: random.Random, profile: str = "default") -> CaseConfig:
         config.regions = rng.randint(2, 3)
         config.wan_ms = float(rng.choice([5, 15, 30]))
         config.wan_jitter_ms = round(rng.uniform(0.5, 3.0), 2)
+    elif profile == "overload":
+        # Additional draws on top of the frozen base: a flyweight client
+        # population surging through admission-controlled gateways, one
+        # responding replica per partition so requests complete end to
+        # end, and intake bounds tight enough that the overload schedule
+        # (gateway/coordinator outages) actually forces delays and sheds.
+        config.profile = profile
+        if config.n_groups == 1:
+            # Populations need a partition group plus g_all; existing
+            # learner subscriptions (all within group 0) stay valid.
+            config.n_groups = 2
+        config.replicas = config.n_groups - 1
+        config.population_sessions = rng.choice([5_000, 50_000])
+        config.population_rate = float(rng.choice([800, 1600]))
+        config.admission_inflight = rng.choice([16, 32, 64])
+        config.admission_queue = rng.choice([32, 128])
     elif profile != "default":
         raise ValueError(f"unknown fuzz profile {profile!r}")
     return config
@@ -250,12 +277,33 @@ def _build(config: CaseConfig):
                     partition=i % partitioner.n_partitions,
                     state_machine=KeyValueStore(),
                     name=f"fz-replica{i}",
-                    respond=False,
+                    # Population cases need end-to-end acknowledgements;
+                    # the base-workload commands carry no client and are
+                    # unaffected by the respond flag either way.
+                    respond=config.population_sessions > 0,
                     checkpoint_interval=config.checkpoint_interval,
                     disk_bandwidth=DISK_BANDWIDTH_BYTES_PER_S,
                 )
             )
-    return mrp, partition, loss, oracles, learners, proposers, replicas
+    population = admission_oracles = None
+    if config.population_sessions:
+        # The gateways join mrp.proposers *last*, which is what lets the
+        # overload schedule aim crashes at them by index.
+        population = ClientPopulation(
+            mrp,
+            RangePartitioner(max(1, config.n_groups - 1)),
+            config.population_sessions,
+            ConstantRate(config.population_rate),
+            name="fz-pop",
+            stop_at=0.8 * config.duration,
+            admission=AdmissionPolicy(
+                max_inflight=config.admission_inflight,
+                max_queue=config.admission_queue,
+            ),
+        ).start()
+        admission_oracles = AdmissionOracles().attach(mrp.sim)
+    return (mrp, partition, loss, oracles, learners, proposers, replicas,
+            population, admission_oracles)
 
 
 def _install_workload(config: CaseConfig, mrp: MultiRingPaxos, proposers) -> None:
@@ -371,7 +419,13 @@ def run_case(
         config = draw_config(rng, profile=profile)
     if duration is not None:
         config.duration = duration
-    mrp, partition, loss, oracles, learners, proposers, replicas = _build(config)
+    (mrp, partition, loss, oracles, learners, proposers, replicas,
+     population, admission_oracles) = _build(config)
+
+    def events_checked() -> int:
+        extra = admission_oracles.events_checked if admission_oracles else 0
+        return oracles.events_checked + extra
+
     if schedule is None:
         topology = topology_of(mrp)
         if replicas:
@@ -433,11 +487,11 @@ def run_case(
         return CaseResult(
             seed=seed, config=config, schedule=schedule, ok=False,
             oracle=violation.oracle, message=str(violation),
-            events_checked=oracles.events_checked,
+            events_checked=events_checked(),
         )
     return CaseResult(
         seed=seed, config=config, schedule=schedule, ok=True,
-        events_checked=oracles.events_checked,
+        events_checked=events_checked(),
     )
 
 
@@ -515,11 +569,13 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=None,
                         help="override the per-case fault/workload window (s)")
     parser.add_argument("--profile", default="default",
-                        choices=("default", "restart-heavy", "geo"),
+                        choices=("default", "restart-heavy", "geo", "overload"),
                         help="fault/config mix: 'default' (balanced), "
                              "'restart-heavy' (crash/restart churn with "
-                             "checkpointing replicas), or 'geo' (multi-"
-                             "datacenter with WAN partitions and jitter)")
+                             "checkpointing replicas), 'geo' (multi-"
+                             "datacenter with WAN partitions and jitter), "
+                             "or 'overload' (client-population surge into "
+                             "admission-controlled gateways under outages)")
     parser.add_argument("--grace", type=float, default=6.0,
                         help="liveness grace after forced heal (simulated s)")
     parser.add_argument("--out", default="fuzz-failures",

@@ -103,13 +103,18 @@ def generate_schedule(
     pairs, every crash restarted on-schedule, aimed at the recovery
     paths — durable-acceptor replay, learner catch-up, checkpoint
     restore. ``"geo"`` cuts and heals WAN links and spikes their jitter
-    (plus light crash churn) for multi-region deployments.
+    (plus light crash churn) for multi-region deployments. ``"overload"``
+    aims crash/restart pairs at ring coordinators and the client
+    population's gateway proposers, forcing timeout/retry/failover and
+    admission-queue pressure.
     """
     lo, hi = 0.05 * duration, 0.85 * duration
     if profile == "restart-heavy":
         return _restart_heavy_schedule(rng, topology, duration, lo, hi)
     if profile == "geo":
         return _geo_schedule(rng, topology, duration, lo, hi)
+    if profile == "overload":
+        return _overload_schedule(rng, topology, duration, lo, hi)
     if profile != "default":
         raise ValueError(f"unknown schedule profile {profile!r}")
     steps: list[ScheduleStep] = []
@@ -187,6 +192,38 @@ def _restart_heavy_schedule(
         island = tuple(sorted(rng.sample(list(topology.nodes), k)))
         steps.append(ScheduleStep(start, "partition", island=island))
         steps.append(ScheduleStep(end, "heal"))
+
+    return Schedule(steps)
+
+
+def _overload_schedule(
+    rng: random.Random, topology: Topology, duration: float, lo: float, hi: float
+) -> Schedule:
+    """The overload mix: outages exactly where the client tier feels them.
+
+    Crash/restart pairs draw from the ring coordinators and the
+    population's gateway proposers (the fuzz build appends the gateways
+    last, so they are the final two proposer targets). A crashed gateway
+    black-holes submissions without consuming sequence numbers; a crashed
+    coordinator stalls acks so in-flight capacity never frees — either
+    way the population's timeout wheel, spare-gateway failover, and the
+    gateways' bounded intake (delays, then sheds) all actually trigger.
+    An occasional loss window keeps the retry traffic itself lossy.
+    """
+    steps: list[ScheduleStep] = []
+    proposers = [t for t in topology.crash_targets if t.startswith("proposer:")]
+    coordinators = [t for t in topology.crash_targets if t.startswith("coordinator:")]
+    pool = coordinators + proposers[-2:]
+    for _ in range(rng.randint(1, 3)):
+        target = rng.choice(pool)
+        t = rng.uniform(lo, hi)
+        steps.append(ScheduleStep(t, "crash", target=target))
+        dt = rng.uniform(0.05, 0.25) * duration
+        steps.append(ScheduleStep(min(t + dt, hi), "restart", target=target))
+
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        steps.append(ScheduleStep(start, "loss", p=round(rng.uniform(0.01, 0.15), 4)))
+        steps.append(ScheduleStep(end, "loss_end"))
 
     return Schedule(steps)
 

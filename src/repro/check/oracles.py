@@ -43,10 +43,13 @@ from typing import Iterator
 
 from ..errors import ReproError
 from ..obs.probe import (
+    ADMISSION_DELAY,
+    ADMISSION_SHED,
     LEARNER_DECIDE,
     LEARNER_DELIVER,
     LEARNER_REWIND,
     LEARNER_ROLLBACK,
+    POPULATION_COMPLETE,
     PROPOSER_MULTICAST,
     REPLICA_APPLY,
     REPLICA_RESTORE,
@@ -55,7 +58,7 @@ from ..obs.probe import (
 )
 from ..sim.simulator import Simulator, observe_simulators
 
-__all__ = ["OracleViolation", "SafetyOracles", "oracle_watch"]
+__all__ = ["AdmissionOracles", "OracleViolation", "SafetyOracles", "oracle_watch"]
 
 
 class OracleViolation(ReproError):
@@ -345,6 +348,85 @@ class SafetyOracles:
         grace window.
         """
         return dict(self._ring_frontier)
+
+
+class AdmissionOracles:
+    """Verify the admission-control contract over probe events.
+
+    Watches the ``admission.delay`` / ``admission.shed`` events the
+    :class:`~repro.core.admission.AdmissionController` emits, plus the
+    ``population.complete`` acknowledgements of the flyweight client
+    tier, and checks:
+
+    * **Bounded intake** — the delayed-intake queue never exceeds its
+      configured bound, and a shed only ever happens with the queue
+      actually full (shed-with-slack would mean admission rejects work
+      it had room for);
+    * **No acked request dropped** — a shed never names a request id the
+      client tier already saw completed. Sheds are synchronous and
+      pre-sequence-number by construction; this oracle is the end-to-end
+      probe-level witness of that property under crash/overload
+      schedules.
+
+    Request ids are taken to be unique across the deployment, which
+    holds for a single client-population tier (the fuzz ``overload``
+    profile builds exactly one).
+    """
+
+    def __init__(self) -> None:
+        self._completed: set[object] = set()
+        self.events_checked = 0
+
+    def attach(self, sim: Simulator) -> "AdmissionOracles":
+        """Subscribe to ``sim``'s probe bus, installing one if absent."""
+        if sim.probe is None:
+            sim.attach_probe(ProbeBus())
+        self.subscribe(sim.probe)
+        return self
+
+    def subscribe(self, bus: ProbeBus) -> "AdmissionOracles":
+        """Subscribe the oracle handlers to ``bus``; returns self."""
+        bus.subscribe(self._on_delay, kind=ADMISSION_DELAY)
+        bus.subscribe(self._on_shed, kind=ADMISSION_SHED)
+        bus.subscribe(self._on_complete, kind=POPULATION_COMPLETE)
+        return self
+
+    def _on_delay(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        depth, bound = ev.data["depth"], ev.data["bound"]
+        if depth > bound:
+            raise OracleViolation(
+                "admission",
+                f"intake queue depth {depth} exceeds its bound {bound}",
+                time=ev.time,
+                source=ev.source,
+                context={"depth": depth, "bound": bound},
+            )
+
+    def _on_shed(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        depth, bound = ev.data["depth"], ev.data["bound"]
+        if depth < bound:
+            raise OracleViolation(
+                "admission",
+                f"submission shed with intake slack ({depth} of {bound} queued)",
+                time=ev.time,
+                source=ev.source,
+                context={"depth": depth, "bound": bound},
+            )
+        req_id = ev.data["req_id"]
+        if req_id is not None and req_id in self._completed:
+            raise OracleViolation(
+                "admission",
+                f"shed names request {req_id}, already acknowledged to the client",
+                time=ev.time,
+                source=ev.source,
+                context={"req_id": req_id},
+            )
+
+    def _on_complete(self, ev: ProbeEvent) -> None:
+        self.events_checked += 1
+        self._completed.add(ev.data["req_id"])
 
 
 @contextmanager

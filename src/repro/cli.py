@@ -75,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="shorten measurement windows on experiments that support it "
-        "(currently: geo) — CI smoke mode",
+        "(currently: geo, clients) — CI smoke mode",
     )
     parser.add_argument(
         "--no-cache",

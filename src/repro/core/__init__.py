@@ -6,6 +6,7 @@ Coordinators keep every ring's instance rate at λ by proposing batched
 skip instances, so merge never blocks on a slow ring for long.
 """
 
+from .admission import AdmissionController, AdmissionPolicy
 from .config import MultiRingConfig
 from .deployment import MultiRingPaxos, RingHandle
 from .groups import Group, GroupRegistry
@@ -16,6 +17,8 @@ from .proposer import MultiRingProposer
 from .skip import SkipManager
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "DeterministicMerge",
     "Group",
     "GroupRegistry",

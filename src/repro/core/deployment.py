@@ -34,6 +34,7 @@ from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.simulator import Simulator
 from ..sim.topology import GeoNetwork
+from .admission import AdmissionPolicy
 from .config import MultiRingConfig
 from .groups import GroupRegistry
 from .learner import MultiRingLearner
@@ -227,9 +228,16 @@ class MultiRingPaxos:
         return learner
 
     def add_proposer(
-        self, name: str | None = None, region: str | None = None
+        self,
+        name: str | None = None,
+        region: str | None = None,
+        admission: "AdmissionPolicy | None" = None,
     ) -> MultiRingProposer:
-        """Attach a new proposer node (it can multicast to any group)."""
+        """Attach a new proposer node (it can multicast to any group).
+
+        ``admission`` bounds its intake (shed-or-delay backpressure, see
+        ``repro.core.admission``); omitted, every submission is admitted.
+        """
         if name is None:
             name = f"mr-prop{self._proposer_count}"
         node = Node(self.sim, name)
@@ -238,6 +246,8 @@ class MultiRingPaxos:
             self.sim, self.network, node, self.registry, self.ring_configs,
             metrics=self.metrics,
         )
+        if admission is not None:
+            proposer.enable_admission(admission)
         self._proposer_count += 1
         self.proposers.append(proposer)
         return proposer

@@ -16,6 +16,7 @@ from ..ringpaxos.proposer import RingProposer
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.process import Process
+from .admission import AdmissionController, AdmissionPolicy
 from .groups import GroupRegistry
 
 __all__ = ["MultiRingProposer"]
@@ -43,6 +44,14 @@ class MultiRingProposer(Process):
         self.multicasts = self.metrics.counter("multicasts")
         self.multicast_bytes = self.metrics.counter("multicast_bytes")
         self._ring_proposers: dict[int, RingProposer] = {}
+        self.admission: AdmissionController | None = None
+
+    def enable_admission(self, policy: AdmissionPolicy) -> AdmissionController:
+        """Gate :meth:`submit` behind bounded shed-or-delay intake."""
+        self.admission = AdmissionController(self, policy)
+        for proposer in self._ring_proposers.values():
+            proposer.on_ack = self.admission.drain
+        return self.admission
 
     def multicast(self, group_id: int, payload: object, size: int) -> ClientValue:
         """Atomically multicast ``payload`` (``size`` bytes) to ``group_id``."""
@@ -50,10 +59,26 @@ class MultiRingProposer(Process):
         proposer = self._ring_proposers.get(ring_id)
         if proposer is None:
             proposer = RingProposer(self.sim, self.network, self.node, self.ring_configs[ring_id])
+            if self.admission is not None:
+                proposer.on_ack = self.admission.drain
             self._ring_proposers[ring_id] = proposer
         self.multicasts.inc()
         self.multicast_bytes.inc(size)
         return proposer.multicast(payload, size, group=group_id)
+
+    def submit(self, group_id: int, payload: object, size: int) -> str:
+        """Multicast through admission control (when enabled).
+
+        Returns ``"admitted"``, ``"delayed"``, or ``"shed"`` — see
+        :class:`~repro.core.admission.AdmissionController.offer`. Without
+        an admission policy every submission is admitted immediately,
+        making this a drop-in request path for clients that want to
+        respect backpressure.
+        """
+        if self.admission is None:
+            self.multicast(group_id, payload, size)
+            return "admitted"
+        return self.admission.offer(group_id, payload, size)
 
     @property
     def unacked(self) -> int:

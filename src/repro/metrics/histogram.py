@@ -79,16 +79,48 @@ class LatencyHistogram:
         """The ``p``-th percentile (0 <= p <= 100) of retained samples."""
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
+        return self.quantiles([p / 100.0])[0]
+
+    def quantiles(self, qs: list[float]) -> list[float]:
+        """Values at fractional ranks ``qs`` (each in [0, 1]), one sort total.
+
+        Linear interpolation between closest ranks (numpy's default), so
+        ``quantiles([p / 100])[0] == percentile(p)``. The batched form is
+        what the client-latency reports use: p50/p99/p999 from a single
+        sort instead of one sort per percentile.
+        """
+        if any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ValueError("quantile fractions must be in [0, 1]")
         if not self._samples:
-            return 0.0
+            return [0.0] * len(qs)
         ordered = sorted(self._samples)
-        rank = (p / 100.0) * (len(ordered) - 1)
-        lo = int(math.floor(rank))
-        hi = int(math.ceil(rank))
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        top = len(ordered) - 1
+        out = []
+        for q in qs:
+            rank = q * top
+            lo = int(math.floor(rank))
+            hi = int(math.ceil(rank))
+            if lo == hi:
+                out.append(ordered[lo])
+            else:
+                frac = rank - lo
+                out.append(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+        return out
+
+    def cdf(self, points: int = 20) -> list[tuple[float, float]]:
+        """An empirical CDF as ``points`` evenly spaced (value, fraction) pairs.
+
+        Fractions run ``1/points, 2/points, ..., 1.0``; each value is the
+        corresponding quantile of the retained samples, so plotting the
+        pairs (value on x, fraction on y) gives the latency CDF the client
+        experiments report. Empty histogram yields an empty list.
+        """
+        if points < 1:
+            raise ValueError("points must be at least 1")
+        if not self._samples:
+            return []
+        fractions = [(i + 1) / points for i in range(points)]
+        return list(zip(self.quantiles(fractions), fractions))
 
     @property
     def max(self) -> float:

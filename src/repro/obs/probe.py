@@ -23,7 +23,13 @@ events the simulated substrate can emit:
 * ``replica.apply`` — an SMR replica applied a command to its state
   machine;
 * ``replica.restore`` — a restarted replica reloaded its latest durable
-  checkpoint.
+  checkpoint;
+* ``admission.delay`` — a proposer's admission controller queued a
+  submission in its bounded intake queue instead of admitting it;
+* ``admission.shed`` — a proposer's admission controller rejected a
+  submission outright (intake queue full);
+* ``population.complete`` — a client population observed the final
+  response for a request (the client-visible acknowledgement).
 
 The protocol-level kinds exist for the safety oracles of ``repro.check``:
 passive checkers subscribe to them and verify agreement, integrity,
@@ -42,6 +48,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 __all__ = [
+    "ADMISSION_DELAY",
+    "ADMISSION_SHED",
     "EVENT_FIRED",
     "LEARNER_DECIDE",
     "LEARNER_DELIVER",
@@ -50,6 +58,7 @@ __all__ = [
     "NET_ENQUEUE",
     "LEARNER_REWIND",
     "LEARNER_ROLLBACK",
+    "POPULATION_COMPLETE",
     "PROPOSER_MULTICAST",
     "REPLICA_APPLY",
     "REPLICA_RESTORE",
@@ -70,6 +79,9 @@ LEARNER_ROLLBACK = "learner.rollback"
 LEARNER_REWIND = "learner.rewind"
 REPLICA_APPLY = "replica.apply"
 REPLICA_RESTORE = "replica.restore"
+ADMISSION_DELAY = "admission.delay"
+ADMISSION_SHED = "admission.shed"
+POPULATION_COMPLETE = "population.complete"
 
 
 @dataclass(frozen=True, slots=True)

@@ -47,6 +47,10 @@ class RingProposer(Process):
         self.retransmit_burst = retransmit_burst
         interval = retransmit_interval if retransmit_interval is not None else config.retry_timeout
         self._retransmit_timer = PeriodicTimer(sim, interval, self._retransmit)
+        # Called (with no arguments) whenever a cumulative ack drains
+        # outstanding submissions — admission controllers hook this to
+        # release queued intake as capacity frees up.
+        self.on_ack = None
         node.register(f"rp{config.ring_id}.submitack", self._on_ack)
 
     @property
@@ -103,13 +107,17 @@ class RingProposer(Process):
         # Values are kept until *decided* (they must survive coordinator
         # crashes); seqs are inserted in ascending order, so the dict's
         # insertion order lets cumulative acks drain from the front.
+        drained = False
         while self._unacked:
             first = next(iter(self._unacked))
             if first > msg.decided_cum:
                 break
             del self._unacked[first]
+            drained = True
         if not self._unacked:
             self._retransmit_timer.stop()
+        if drained and self.on_ack is not None:
+            self.on_ack()
 
     def _retransmit(self) -> None:
         """Resend undecided submissions the coordinator has not received.

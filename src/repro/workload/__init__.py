@@ -1,6 +1,7 @@
-"""Workload generation: offered-rate schedules and load generators."""
+"""Workload generation: offered-rate schedules, load generators, populations."""
 
 from .generator import ClosedLoopGenerator, OpenLoopGenerator, ThrottledGenerator
+from .population import BatchArrivalProcess, ClientPopulation, SessionMix, poisson
 from .replay import TraceRecord, TraceRecorder, TraceReplayer, dump_trace, load_trace
 from .rates import (
     ConstantRate,
@@ -9,9 +10,12 @@ from .rates import (
     RateSchedule,
     ScaledRate,
     StepRate,
+    next_change_after,
 )
 
 __all__ = [
+    "BatchArrivalProcess",
+    "ClientPopulation",
     "ClosedLoopGenerator",
     "ConstantRate",
     "ModulatedRate",
@@ -19,6 +23,7 @@ __all__ = [
     "OscillatingRate",
     "RateSchedule",
     "ScaledRate",
+    "SessionMix",
     "StepRate",
     "ThrottledGenerator",
     "TraceRecord",
@@ -26,4 +31,6 @@ __all__ = [
     "TraceReplayer",
     "dump_trace",
     "load_trace",
+    "next_change_after",
+    "poisson",
 ]

@@ -15,7 +15,12 @@ from typing import Any, Callable
 from ..metrics import Counter
 from ..sim.process import Process
 from ..sim.simulator import Simulator
-from .rates import RateSchedule
+from .rates import RateSchedule, next_change_after
+
+# While idle with no known transition ahead, poll intervals double up to
+# this multiple of ``idle_poll`` — bounded staleness for schedules that
+# cannot announce their next change (e.g. a custom mutable schedule).
+IDLE_BACKOFF_CAP = 128
 
 __all__ = ["OpenLoopGenerator", "ClosedLoopGenerator", "ThrottledGenerator"]
 
@@ -27,8 +32,12 @@ class OpenLoopGenerator(Process):
 
     Inter-send gaps are deterministic (1/rate) re-evaluated at every send,
     so step and oscillating schedules take effect immediately. When the
-    schedule reports a zero rate the generator polls it every
-    ``idle_poll`` seconds.
+    schedule reports a zero rate the generator asks the schedule for its
+    next transition (``rates.next_change_after``) and sleeps until exactly
+    then; schedules without a known transition are polled with geometric
+    backoff from ``idle_poll`` (capped at ``IDLE_BACKOFF_CAP`` times it),
+    so idle phases cost O(log idle) kernel events instead of one per
+    ``idle_poll``.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class OpenLoopGenerator(Process):
         self.sends = Counter("sends")
         self._rng = sim.random.get(f"workload.{name}")
         self._running = False
+        self._idle_backoff = 0.0
 
     def start(self, delay: float = 0.0) -> "OpenLoopGenerator":
         """Begin generating ``delay`` seconds from now; returns self."""
@@ -80,8 +90,9 @@ class OpenLoopGenerator(Process):
             return
         rate = self.schedule.rate_at(now)
         if rate <= 0:
-            self.sim.post(self.idle_poll, self._tick)
+            self.sim.post(self._idle_delay(now), self._tick)
             return
+        self._idle_backoff = 0.0
         # ``burst`` > 1 models clients that submit in clumps (the offered
         # rate is unchanged; the gap scales with the burst size). Bursty
         # arrivals are what make the skip interval Delta observable.
@@ -96,6 +107,17 @@ class OpenLoopGenerator(Process):
             # the out-of-sync effect of the paper's Figure 9 at lambda=0.
             gap *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
         self.sim.post(gap, self._tick)
+
+    def _idle_delay(self, now: float) -> float:
+        """How long to sleep while the schedule reports a zero rate."""
+        wake = next_change_after(self.schedule, now)
+        if wake is not None and wake > now:
+            self._idle_backoff = 0.0
+            return wake - now
+        # No announced transition: geometric backoff from idle_poll.
+        delay = self._idle_backoff or self.idle_poll
+        self._idle_backoff = min(delay * 2.0, self.idle_poll * IDLE_BACKOFF_CAP)
+        return delay
 
 
 class ClosedLoopGenerator(Process):

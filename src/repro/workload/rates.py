@@ -8,6 +8,7 @@ skew (Figure 11). All are expressible as a :class:`RateSchedule`.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Protocol
 
@@ -18,6 +19,7 @@ __all__ = [
     "OscillatingRate",
     "ScaledRate",
     "ModulatedRate",
+    "next_change_after",
 ]
 
 
@@ -27,6 +29,26 @@ class RateSchedule(Protocol):
     def rate_at(self, t: float) -> float:
         """Offered rate (msg/s) at time ``t``."""
         ...  # pragma: no cover - protocol definition
+
+
+def next_change_after(schedule: RateSchedule, t: float) -> float | None:
+    """The next time after ``t`` at which ``schedule``'s rate may change.
+
+    ``None`` means "no known future transition" — either the schedule is
+    genuinely constant (:class:`ConstantRate`, an exhausted
+    :class:`StepRate`) or it varies continuously
+    (:class:`OscillatingRate`), where there is no discrete transition to
+    wake at. Callers idling on a zero rate should wake exactly at the
+    returned time, and fall back to polling with backoff on ``None``.
+
+    Schedules advertise transitions via an optional ``next_change_after``
+    method; this helper tolerates third-party schedules that only
+    implement the :class:`RateSchedule` protocol.
+    """
+    probe = getattr(schedule, "next_change_after", None)
+    if probe is None:
+        return None
+    return probe(t)
 
 
 class ConstantRate:
@@ -39,6 +61,9 @@ class ConstantRate:
 
     def rate_at(self, t: float) -> float:
         return self.rate
+
+    def next_change_after(self, t: float) -> float | None:
+        return None
 
 
 class StepRate:
@@ -57,6 +82,7 @@ class StepRate:
         if any(r < 0 for _, r in steps):
             raise ValueError("rates must be non-negative")
         self.steps = list(steps)
+        self._times = times
 
     def rate_at(self, t: float) -> float:
         rate = 0.0
@@ -66,6 +92,10 @@ class StepRate:
             else:
                 break
         return rate
+
+    def next_change_after(self, t: float) -> float | None:
+        idx = bisect.bisect_right(self._times, t)
+        return self._times[idx] if idx < len(self._times) else None
 
 
 class OscillatingRate:
@@ -105,6 +135,9 @@ class ScaledRate:
     def rate_at(self, t: float) -> float:
         return self.inner.rate_at(t) * self.factor
 
+    def next_change_after(self, t: float) -> float | None:
+        return next_change_after(self.inner, t)
+
 
 class ModulatedRate:
     """A base schedule modulated by a mean-preserving sinusoid.
@@ -126,3 +159,10 @@ class ModulatedRate:
     def rate_at(self, t: float) -> float:
         factor = 1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period)
         return max(0.0, self.base.rate_at(t) * factor)
+
+    def next_change_after(self, t: float) -> float | None:
+        # The sinusoid varies continuously; only the base's discrete
+        # transitions are worth waking for (a zero rate stays zero until
+        # the base steps to a nonzero level — amplitude <= 1 cannot zero
+        # a nonzero base except at isolated instants).
+        return next_change_after(self.base, t)

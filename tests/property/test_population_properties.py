@@ -1,0 +1,87 @@
+"""Property tests for the flyweight client population (arrival fidelity)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MultiRingConfig, MultiRingPaxos
+from repro.sim import Simulator
+from repro.smr import KeyValueStore, RangePartitioner, Replica
+from repro.workload import (
+    BatchArrivalProcess,
+    ClientPopulation,
+    ConstantRate,
+    OpenLoopGenerator,
+)
+
+
+@given(
+    n_sessions=st.integers(2, 40),
+    rate=st.floats(50.0, 400.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_batched_arrivals_equivalent_to_per_session_generators(n_sessions, rate, seed):
+    """One compound process at rate λ == n open-loop sources at λ/n each.
+
+    Arrival *counts* per window must match within sampling tolerance:
+    the per-session generators are deterministic (each contributes
+    ``floor(T·λ/n) + 1`` sends, the +1 from the immediate first send),
+    while the compound process is Poisson with standard deviation
+    ``sqrt(λT)``. Six sigma plus the first-send bias bounds the gap with
+    overwhelming probability under a fixed seed.
+    """
+    window = 2.0
+
+    batched = Simulator(seed=seed)
+    count = [0]
+    BatchArrivalProcess(
+        batched, lambda: count.__setitem__(0, count[0] + 1), ConstantRate(rate)
+    ).start()
+    batched.run(until=window)
+
+    per_actor = Simulator(seed=seed)
+    sends = [0]
+    for i in range(n_sessions):
+        OpenLoopGenerator(
+            per_actor,
+            lambda: sends.__setitem__(0, sends[0] + 1),
+            ConstantRate(rate / n_sessions),
+            name=f"gen{i}",
+        ).start()
+    per_actor.run(until=window)
+
+    tolerance = n_sessions + 6.0 * math.sqrt(rate * window) + 1
+    assert abs(count[0] - sends[0]) <= tolerance
+
+
+@given(seed=st.integers(0, 2**16), zipf_s=st.sampled_from([0.0, 0.8, 1.2]))
+@settings(max_examples=10, deadline=None)
+def test_population_byte_deterministic_per_seed(seed, zipf_s):
+    """Same seed, same config: identical arrival trace, counters, latencies."""
+    from repro.workload import SessionMix
+
+    def run():
+        partitioner = RangePartitioner(2)
+        mrp = MultiRingPaxos(
+            MultiRingConfig(n_groups=partitioner.n_groups, seed=seed)
+        )
+        for p in range(2):
+            Replica(mrp, partitioner, p, KeyValueStore(),
+                    name=f"replica{p}", respond=True)
+        pop = ClientPopulation(
+            mrp, partitioner, 10_000, ConstantRate(400.0),
+            mix=SessionMix(zipf_s=zipf_s), stop_at=0.25,
+            record_arrivals=True,
+        ).start()
+        mrp.run(until=0.8)
+        return (
+            pop.arrival_trace,
+            pop.requests.value,
+            pop.completions.value,
+            pop.timeouts.value,
+            sorted(pop.request_latency._samples),
+        )
+
+    assert run() == run()

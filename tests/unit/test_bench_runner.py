@@ -102,3 +102,42 @@ def test_failure_timeseries_marks_events():
     delivered = dict((round(t), v) for t, v in res.delivered_mbps)
     assert delivered[1] > 0
     assert delivered[2] < delivered[1] * 0.5  # the outage is visible
+
+
+def test_population_point_reports_quantiles_and_cdf():
+    from repro.bench.clients import run_population_point
+
+    r = run_population_point(
+        n_sessions=20_000, rate=400.0, duration=0.3, warmup=0.1, seed=2
+    )
+    assert r.msgs_per_s > 0
+    assert r.extra["completions"] > 0
+    assert 0 < r.extra["p50_ms"] <= r.extra["p99_ms"] <= r.extra["p999_ms"]
+    cdf = r.extra["cdf_ms"]
+    assert len(cdf) == 10 and cdf[-1][1] == 1.0
+    assert [q for _, q in cdf] == sorted(q for _, q in cdf)
+    # Deterministic: the same spec reproduces the identical result row.
+    again = run_population_point(
+        n_sessions=20_000, rate=400.0, duration=0.3, warmup=0.1, seed=2
+    )
+    assert again.extra == r.extra and again.msgs_per_s == r.msgs_per_s
+
+
+def test_population_point_overload_scenario_sheds():
+    from repro.bench.clients import run_population_point
+
+    r = run_population_point(
+        n_sessions=5_000, rate=1200.0, duration=0.4, warmup=0.1, seed=2,
+        admission_inflight=8, admission_queue=16,
+        crash_coordinator_at=0.2, restart_coordinator_at=0.35,
+    )
+    assert r.extra["shed"] + r.extra["delayed"] > 0
+    assert r.extra["retries"] > 0
+
+
+def test_per_actor_point_delivers_offered_load():
+    from repro.bench.clients import run_per_actor_point
+
+    r = run_per_actor_point(n_sessions=200, rate=400.0, duration=0.3, warmup=0.1, seed=2)
+    assert r.msgs_per_s == pytest.approx(400.0, rel=0.15)
+    assert r.extra["n_sessions"] == 200

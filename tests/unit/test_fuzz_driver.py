@@ -226,3 +226,49 @@ class TestCli:
     def test_existing_cli_still_works(self, capsys):
         assert main(["list"]) == 0
         capsys.readouterr()
+
+
+class TestOverloadProfile:
+    def test_overload_config_draws_population(self):
+        for seed in range(10):
+            config = draw_config(random.Random(seed), profile="overload")
+            assert config.profile == "overload"
+            assert config.population_sessions > 0
+            assert config.population_rate > 0
+            assert config.admission_inflight > 0
+            assert config.n_groups >= 2
+            assert config.replicas == config.n_groups - 1
+
+    def test_overload_config_round_trips(self):
+        config = draw_config(random.Random(3), profile="overload")
+        assert CaseConfig.from_dict(json.loads(json.dumps(config.as_dict()))) == config
+
+    def test_overload_schedule_targets_service_side_roles(self):
+        from repro.check.generator import Topology, generate_schedule
+
+        topo = Topology(
+            crash_targets=("coordinator:0", "coordinator:1", "acceptor:0:0",
+                           "learner:0", "proposer:0", "proposer:1", "proposer:2"),
+            nodes=("a", "b", "c"),
+        )
+        for seed in range(20):
+            schedule = generate_schedule(
+                random.Random(seed), topo, 1.5, profile="overload"
+            )
+            crashed = [s.target for s in schedule.steps if s.action == "crash"]
+            assert crashed  # always at least one outage
+            # Only coordinators and the last two proposers (the population
+            # gateways) are targeted — never acceptors, learners, or the
+            # base-workload proposer.
+            assert all(
+                t in ("coordinator:0", "coordinator:1", "proposer:1", "proposer:2")
+                for t in crashed
+            )
+            restarted = [s.target for s in schedule.steps if s.action == "restart"]
+            assert sorted(restarted) == sorted(crashed)
+
+    def test_overload_case_runs_clean_and_checks_admission_events(self):
+        result = run_case(0, profile="overload", duration=1.0)
+        assert result.ok
+        assert result.config.population_sessions > 0
+        assert result.events_checked > 0

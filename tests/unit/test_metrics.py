@@ -255,3 +255,73 @@ def test_registry_collect_yields_label_dicts():
     assert (kind, name) == ("counter", "delivered")
     assert labels == {"ring": "3", "role": "learner"}
     assert metric.value == 1
+
+
+# ---------------------------------------------------------------------------
+# Batched quantiles and CDF export
+# ---------------------------------------------------------------------------
+def _reference_quantile(samples, q):
+    """Sorted-array linear-interpolation quantile (numpy's default)."""
+    ordered = sorted(samples)
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def test_quantiles_match_reference_implementation():
+    import random
+
+    rng = random.Random(13)
+    samples = [rng.expovariate(20.0) for _ in range(1001)]
+    h = LatencyHistogram()
+    for s in samples:
+        h.record(s)
+    qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0]
+    got = h.quantiles(qs)
+    want = [_reference_quantile(samples, q) for q in qs]
+    assert got == pytest.approx(want)
+    assert got == sorted(got)  # quantiles are monotone in q
+
+
+def test_quantiles_consistent_with_percentile():
+    h = LatencyHistogram()
+    for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+        h.record(v)
+    assert h.quantiles([0.5, 0.99, 0.999]) == [
+        h.percentile(50), h.percentile(99), h.percentile(99.9)
+    ]
+    assert h.quantiles([0.0, 1.0]) == [1.0, 5.0]
+
+
+def test_quantiles_validation_and_empty():
+    h = LatencyHistogram()
+    assert h.quantiles([0.5, 0.99]) == [0.0, 0.0]
+    with pytest.raises(ValueError):
+        h.quantiles([1.5])
+    h.record(1.0)
+    assert h.quantiles([0.25, 0.75]) == [1.0, 1.0]
+
+
+def test_cdf_export_shape_and_reference():
+    h = LatencyHistogram()
+    samples = list(range(1, 101))  # 1..100
+    for v in samples:
+        h.record(float(v))
+    cdf = h.cdf(points=10)
+    assert len(cdf) == 10
+    values = [v for v, _ in cdf]
+    fractions = [f for _, f in cdf]
+    assert fractions == pytest.approx([0.1 * (i + 1) for i in range(10)])
+    assert values == pytest.approx(
+        [_reference_quantile(samples, f) for f in fractions]
+    )
+    assert cdf[-1] == (100.0, 1.0)  # the last point is the max sample
+
+
+def test_cdf_empty_and_validation():
+    h = LatencyHistogram()
+    assert h.cdf() == []
+    with pytest.raises(ValueError):
+        h.cdf(points=0)

@@ -205,3 +205,92 @@ def test_closed_loop_validation():
     sim = Simulator()
     with pytest.raises(ValueError):
         ClosedLoopGenerator(sim, lambda: None, window=0)
+
+
+# ---------------------------------------------------------------------------
+# Zero-rate handling: next_change_after and idle backoff
+# ---------------------------------------------------------------------------
+def test_next_change_after_schedules():
+    from repro.workload import ModulatedRate, next_change_after
+
+    assert next_change_after(ConstantRate(10.0), 0.0) is None
+    step = StepRate([(0.0, 10.0), (5.0, 0.0), (9.0, 20.0)])
+    assert next_change_after(step, 0.0) == 5.0
+    assert next_change_after(step, 5.0) == 9.0
+    assert next_change_after(step, 9.0) is None
+    # Wrappers delegate to what they wrap.
+    assert next_change_after(ScaledRate(step, 2.0), 0.0) == 5.0
+    assert next_change_after(ModulatedRate(step, amplitude=0.5), 0.0) == 5.0
+
+    class Opaque:
+        def rate_at(self, t):
+            return 0.0
+
+    assert next_change_after(Opaque(), 0.0) is None
+
+
+def test_open_loop_trace_unchanged_for_nonzero_schedules():
+    # The zero-rate fix must not move a single send of an always-nonzero
+    # schedule: gaps are exactly 1/rate re-evaluated per send.
+    sim = Simulator()
+    sends = []
+    schedule = StepRate([(0.0, 8.0), (1.0, 40.0), (2.5, 12.0)])
+    OpenLoopGenerator(sim, lambda: sends.append(sim.now), schedule).start()
+    sim.run(until=4.0)
+    expected, t = [], 0.0
+    while t < 4.0:
+        expected.append(t)
+        t += 1.0 / schedule.rate_at(t)
+    assert sends == pytest.approx(expected)
+
+
+def test_open_loop_sleeps_to_known_transition():
+    # A long silent prefix with an announced transition costs one sleep,
+    # not one poll per idle_poll interval.
+    sim = Simulator()
+    sends = []
+    calls = [0]
+    schedule = StepRate([(50.0, 10.0)])
+    real_rate_at = schedule.rate_at
+
+    def counting_rate_at(t):
+        calls[0] += 1
+        return real_rate_at(t)
+
+    schedule.rate_at = counting_rate_at
+    OpenLoopGenerator(sim, lambda: sends.append(sim.now), schedule).start()
+    sim.run(until=51.0)
+    assert sends and min(sends) >= 50.0
+    # ~1 idle evaluation + ~10 live sends; polling would cost ~5000.
+    assert calls[0] < 25
+
+
+def test_open_loop_geometric_backoff_without_transition_info():
+    from repro.workload.generator import IDLE_BACKOFF_CAP
+
+    sim = Simulator()
+
+    class MutableRate:
+        """Opaque schedule: zero now, nonzero later, no transition info."""
+
+        def __init__(self):
+            self.rate = 0.0
+            self.calls = 0
+
+        def rate_at(self, t):
+            self.calls += 1
+            return self.rate
+
+    schedule = MutableRate()
+    sends = []
+    gen = OpenLoopGenerator(sim, lambda: sends.append(sim.now), schedule)
+    gen.start()
+    sim.run(until=100.0)
+    # Geometric backoff: O(log idle) polls, then capped linear scanning —
+    # far fewer than the 10_000 fixed-interval polls of 100s / 10ms.
+    assert schedule.calls < 2 + 100.0 / (gen.idle_poll * IDLE_BACKOFF_CAP) + 10
+    # The generator is still alive: raising the rate resumes sending
+    # within the capped poll interval.
+    schedule.rate = 50.0
+    sim.run(until=103.0)
+    assert sends and min(sends) <= 100.0 + gen.idle_poll * IDLE_BACKOFF_CAP
