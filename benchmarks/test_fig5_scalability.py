@@ -10,28 +10,12 @@ and the CPU of the most-loaded node.
 
 from repro.bench import emit
 from repro.bench.figures import figure5
+from repro.bench.shapes import assert_figure5_shapes
 
 
 def test_fig5_scalability(benchmark):
     rows, table = benchmark.pedantic(figure5, rounds=1, iterations=1)
     emit("fig5_scalability", table)
-    by = lambda name: [r for r in rows if r[0] == name]
-    ram, disk = by("RAM M-RP"), by("DISK M-RP")
-    ringpaxos, spread, lcr = by("Ring Paxos"), by("Spread"), by("LCR")
-
-    # RAM M-RP scales linearly, exceeding 5 Gbps at 8 rings.
-    assert ram[-1][2] > 5.0
-    assert 6.0 <= ram[-1][2] / ram[0][2] <= 10.0
-    # DISK M-RP scales linearly too, around 3 Gbps at 8 rings.
-    assert 2.5 <= disk[-1][2] <= 3.8
-    assert 6.0 <= disk[-1][2] / disk[0][2] <= 10.0
-    # RAM beats DISK at every size (CPU bound ~700 vs disk bound ~400/ring).
-    assert all(r[2] > d[2] for r, d in zip(ram, disk))
-
-    # The three baselines are flat: no growth with nodes/groups/daemons.
-    for flat in (ringpaxos, spread, lcr):
-        values = [r[2] for r in flat]
-        assert max(values) / min(values) < 1.3
-    # And at 8 partitions Multi-Ring Paxos dominates all of them.
-    best_baseline = max(r[2] for r in ringpaxos + spread + lcr)
-    assert ram[-1][2] > 3 * best_baseline
+    # The paper's qualitative claims live in repro.bench.shapes so the
+    # pruned-vs-unpruned CI equivalence check asserts the exact same set.
+    assert_figure5_shapes(rows)

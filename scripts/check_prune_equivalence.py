@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Pruned-vs-unpruned figure equivalence check (CI gate).
+
+Runs Figures 1 and 5 cold (no result cache) both ways and asserts:
+
+* every paper shape assertion (``repro.bench.shapes``) passes on the
+  pruned rows exactly as on the unpruned rows;
+* the pruned sweep interpolated at least one point, and tables keep
+  their full row count — pruning tags, never drops;
+* the pruned run is faster, and the combined fig1+fig5 wall-clock
+  speedup meets the floor (1.5x by default; ``--min-speedup`` to vary).
+
+Writes a JSON artifact (``--out``) with per-figure timings for upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.figures import figure1, figure5
+from repro.bench.shapes import assert_figure1_shapes, assert_figure5_shapes
+
+
+def _run(figure_fn, prune: bool):
+    started = time.perf_counter()
+    rows, _ = figure_fn(prune=prune)
+    return rows, time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required combined fig1+fig5 speedup (default 1.5)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write a JSON timing artifact")
+    args = parser.parse_args(argv)
+
+    from repro.model.prune import figure1_plan, figure5_plan
+
+    report = {}
+    combined_full = combined_pruned = 0.0
+    for name, figure_fn, assert_shapes, plan_fn in (
+        ("fig1", figure1, assert_figure1_shapes, figure1_plan),
+        ("fig5", figure5, assert_figure5_shapes, figure5_plan),
+    ):
+        full_rows, full_s = _run(figure_fn, prune=False)
+        pruned_rows, pruned_s = _run(figure_fn, prune=True)
+
+        assert len(pruned_rows) == len(full_rows), (
+            f"{name}: pruned table dropped rows "
+            f"({len(pruned_rows)} vs {len(full_rows)})"
+        )
+        # The same paper assertions must hold on both tables.
+        assert_shapes(full_rows)
+        assert_shapes(pruned_rows)
+
+        # The plan must actually have pruned something (tagged, not dropped).
+        plan_grid = [(r[0].startswith("Recoverable"), r[1]) for r in full_rows] \
+            if name == "fig1" else [(r[0], r[1]) for r in full_rows]
+        n_pruned = plan_fn(plan_grid).n_pruned
+        assert n_pruned > 0, f"{name}: model pruned nothing"
+
+        combined_full += full_s
+        combined_pruned += pruned_s
+        report[name] = {
+            "unpruned_s": full_s,
+            "pruned_s": pruned_s,
+            "speedup": full_s / pruned_s,
+            "points_interpolated": n_pruned,
+            "rows": len(full_rows),
+        }
+        print(f"{name}: unpruned {full_s:.1f}s, pruned {pruned_s:.1f}s "
+              f"({full_s / pruned_s:.2f}x, {n_pruned} interpolated), shapes ok")
+
+    speedup = combined_full / combined_pruned
+    report["combined"] = {
+        "unpruned_s": combined_full,
+        "pruned_s": combined_pruned,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+    }
+    print(f"combined: {combined_full:.1f}s -> {combined_pruned:.1f}s "
+          f"({speedup:.2f}x, floor {args.min_speedup:g}x)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if speedup < args.min_speedup:
+        print(f"FAIL: combined speedup {speedup:.2f}x below floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,23 @@ def _point(runner: str, **kwargs) -> Spec:
     return Spec(fn=f"repro.bench.runner:{runner}", kwargs=kwargs, label=f"{runner}:{kwargs}")
 
 
+def _run_specs(specs: list[Spec], prune: bool, figure: str, grid):
+    """Run a figure's sweep, optionally through the model-guided pruner.
+
+    With ``prune`` the analytic model plans which grid points sit deep
+    inside a predicted flat/linear region; those are interpolated from
+    the simulated anchors and tagged ``extra["model"] == "interpolated"``
+    instead of being simulated (imported lazily so plain sweeps never
+    touch the model package).
+    """
+    if not prune:
+        return run_sweep(specs)
+    from ..model.prune import figure1_plan, figure5_plan, run_pruned_sweep
+
+    plan = {"fig1": figure1_plan, "fig5": figure5_plan}[figure](grid)
+    return run_pruned_sweep(specs, plan)
+
+
 def _lambda_case(
     levels: list[float],
     lam: float,
@@ -89,8 +106,13 @@ def _lambda_spec(levels: list[float], lam: float, **kwargs) -> Spec:
 # ---------------------------------------------------------------------------
 # Figures
 # ---------------------------------------------------------------------------
-def figure1():
-    """In-memory vs Recoverable Ring Paxos (latency vs throughput)."""
+def figure1(prune: bool = False):
+    """In-memory vs Recoverable Ring Paxos (latency vs throughput).
+
+    ``prune=True`` lets the analytic model skip points deep inside each
+    mode's predicted-flat region, interpolating them from the simulated
+    anchors (tagged ``model:interpolated``); see :mod:`repro.model.prune`.
+    """
     grid = [
         (durable, offered)
         for durable, offered_list in (
@@ -103,10 +125,11 @@ def figure1():
         _point("run_single_ring_point", offered_mbps=float(offered), durable=durable)
         for durable, offered in grid
     ]
+    results = _run_specs(specs, prune, "fig1", grid)
     rows = [
         (r.label, offered, r.delivered_mbps, r.latency_ms, r.cpu_pct,
          r.extra["disk_util_pct"])
-        for (durable, offered), r in zip(grid, run_sweep(specs))
+        for (durable, offered), r in zip(grid, results)
     ]
     table = format_table(
         "Figure 1: latency vs delivery throughput per server (single Ring Paxos)",
@@ -132,8 +155,13 @@ def figure2():
     return rows, table
 
 
-def figure5():
-    """Scalability: M-RP (RAM/DISK) vs Spread, Ring Paxos, LCR."""
+def figure5(prune: bool = False):
+    """Scalability: M-RP (RAM/DISK) vs Spread, Ring Paxos, LCR.
+
+    ``prune=True`` simulates only each series' endpoints when the model
+    certifies the span as linear (M-RP) or flat (the baselines),
+    interpolating the interior; see :mod:`repro.model.prune`.
+    """
     grid: list[tuple[str, int, Spec]] = []
     for n in (1, 2, 4, 8):
         grid.append(("RAM M-RP", n, _point("run_multiring_point", n_rings=n, durable=False)))
@@ -145,7 +173,10 @@ def figure5():
         grid.append(("Spread", n, _point("run_spread_point", n_daemons=n)))
     for n in (2, 4, 8, 16):
         grid.append(("LCR", n, _point("run_lcr_point", n_nodes=n)))
-    results = run_sweep([spec for _, _, spec in grid])
+    results = _run_specs(
+        [spec for _, _, spec in grid], prune, "fig5",
+        [(system, n) for system, n, _ in grid],
+    )
     rows = []
     for (system, n, _), r in zip(grid, results):
         msgs = 0.0 if system == "Ring Paxos" else r.msgs_per_s
@@ -488,11 +519,13 @@ FIGURES = {
 }
 
 
-def run_figure(name: str, quick: bool = False):
+def run_figure(name: str, quick: bool = False, prune: bool = False):
     """Run one named figure; returns (data, table_text).
 
     ``quick=True`` shortens measurement windows on figures that support
     it (those taking a ``quick`` keyword); others run at full size.
+    ``prune=True`` enables model-guided sweep pruning on figures that
+    support it (those taking a ``prune`` keyword).
     """
     try:
         fn = FIGURES[name]
@@ -500,6 +533,10 @@ def run_figure(name: str, quick: bool = False):
         raise KeyError(
             f"unknown figure {name!r}; available: {', '.join(sorted(FIGURES))}"
         ) from None
-    if quick and "quick" in inspect.signature(fn).parameters:
-        return fn(quick=True)
-    return fn()
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if quick and "quick" in params:
+        kwargs["quick"] = True
+    if prune and "prune" in params:
+        kwargs["prune"] = True
+    return fn(**kwargs)

@@ -61,6 +61,7 @@ __all__ = [
     "bench_clients",
     "bench_fig5_sweep",
     "run_suite",
+    "baseline_mode_mismatch",
     "compare_to_baseline",
     "check_min_speedups",
     "parse_min_speedup",
@@ -531,10 +532,49 @@ def load_report(path: str | Path) -> dict | None:
     return json.loads(p.read_text())
 
 
-def _baseline_benchmarks(baseline: dict | None, mode: str) -> dict[str, dict]:
+def _baseline_entry(baseline: dict | None, mode: str) -> dict:
+    """The baseline record a ``mode`` run would be compared against.
+
+    Modern baseline files keep one entry per mode under ``modes``;
+    legacy flat files are a single entry at the top level (benchmarks +
+    file-level provenance + optionally the ``mode`` they were recorded
+    in). The entry's recorded mode rides along so callers can refuse
+    cross-mode comparisons instead of treating quick numbers as full
+    ones.
+    """
     if not baseline:
         return {}
-    return baseline.get("modes", {}).get(mode, {}).get("benchmarks", {})
+    modes = baseline.get("modes")
+    if modes is not None:
+        entry = modes.get(mode, {})
+        if entry and "mode" not in entry:
+            # Pre-stamp entries: the storage key is the only record.
+            entry = {**entry, "mode": mode}
+        return entry
+    return {
+        key: baseline[key]
+        for key in ("benchmarks", "recorded_at", "host", "note", "mode")
+        if baseline.get(key) is not None
+    }
+
+
+def baseline_mode_mismatch(baseline: dict | None, mode: str) -> str | None:
+    """The baseline entry's recorded mode when it differs from ``mode``.
+
+    ``None`` means the comparison is sound (same mode, or no baseline /
+    no recorded mode to contradict it). A non-``None`` return is the
+    mismatching recorded mode — callers warn and skip speedups and
+    gates rather than compare quick against full numbers.
+    """
+    recorded = _baseline_entry(baseline, mode).get("mode")
+    return recorded if recorded is not None and recorded != mode else None
+
+
+def _baseline_benchmarks(baseline: dict | None, mode: str) -> dict[str, dict]:
+    """Comparable baseline numbers for ``mode`` ({} on mode mismatch)."""
+    if baseline_mode_mismatch(baseline, mode) is not None:
+        return {}
+    return _baseline_entry(baseline, mode).get("benchmarks", {})
 
 
 def _baseline_provenance(baseline: dict | None, mode: str) -> dict:
@@ -545,7 +585,7 @@ def _baseline_provenance(baseline: dict | None, mode: str) -> dict:
     """
     if not baseline:
         return {"recorded_at": None, "host": None}
-    mode_entry = baseline.get("modes", {}).get(mode, {})
+    mode_entry = _baseline_entry(baseline, mode)
     out = {
         "recorded_at": mode_entry.get("recorded_at") or baseline.get("recorded_at"),
         "host": mode_entry.get("host") or baseline.get("host"),
@@ -553,6 +593,9 @@ def _baseline_provenance(baseline: dict | None, mode: str) -> dict:
     note = mode_entry.get("note") or baseline.get("note")
     if note:
         out["note"] = note
+    mismatch = baseline_mode_mismatch(baseline, mode)
+    if mismatch is not None:
+        out["mode_mismatch"] = mismatch
     return out
 
 
@@ -593,6 +636,7 @@ def update_baseline(
     existing["schema"] = SCHEMA_VERSION
     mode_entry: dict[str, Any] = {
         "benchmarks": benchmarks,
+        "mode": mode,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": _host_info(),
     }
@@ -677,12 +721,28 @@ def bench_main(argv: list[str] | None = None) -> int:
         print(f"baseline ({mode}) updated: {args.baseline}")
 
     baseline = load_report(args.baseline)
+    mismatch = baseline_mode_mismatch(baseline, mode)
+    if mismatch is not None:
+        print(
+            f"warning: baseline for {mode!r} was recorded in {mismatch!r} mode; "
+            "speedups not computed (re-record with --update-baseline)",
+            file=sys.stderr,
+        )
     report = write_report(args.out, mode, benchmarks, baseline)
     print(f"report written: {args.out}")
     for name, ratio in sorted(report["speedup"].items()):
         print(f"  {name:<28s} {ratio:>6.2f}x vs baseline")
 
     if args.check:
+        if mismatch is not None:
+            # Comparing a quick run against full numbers (or vice versa)
+            # would gate on noise, not regressions: warn, don't fail.
+            print(
+                "regression check skipped (baseline mode mismatch: "
+                f"recorded {mismatch!r}, run {mode!r})",
+                file=sys.stderr,
+            )
+            return 0
         failures = compare_to_baseline(
             benchmarks, _baseline_benchmarks(baseline, mode), args.max_regression
         )

@@ -27,6 +27,12 @@ and docs/fuzzing.md); run ``python -m repro fuzz --help`` for its options.
 (kernel events/sec, figure runners, a bounded fuzz round) and writes
 ``BENCH_perf.json`` — see ``repro.bench.perf`` and docs/simulation.md's
 Performance section; run ``python -m repro bench --help`` for options.
+
+``python -m repro model ...`` prints the analytic model's capacity plan
+for an arbitrary deployment (works at scales the simulator cannot run,
+e.g. ``--rings 64 --clients 1000000``), and ``python -m repro validate``
+cross-checks the model's predictions against simulator measurements —
+see ``repro.model`` and docs/model.md.
 """
 
 from __future__ import annotations
@@ -78,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(currently: geo, clients) — CI smoke mode",
     )
     parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="model-guided sweep pruning on experiments that support it "
+        "(currently: fig1, fig5) — points deep inside a model-predicted "
+        "flat region are interpolated from simulated anchors and tagged "
+        "'model:interpolated' instead of simulated (see docs/model.md)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk result cache",
@@ -105,6 +119,17 @@ def main(argv: list[str] | None = None) -> int:
         from .bench.perf import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "model":
+        # Analytic capacity planner (repro.model.capacity) — closed form,
+        # so it answers for deployments far beyond simulator scale.
+        from .model.capacity import model_main
+
+        return model_main(argv[1:])
+    if argv and argv[0] == "validate":
+        # Model-vs-sim cross-checks (repro.model.validate).
+        from .model.validate import validate_main
+
+        return validate_main(argv[1:])
     args = _build_parser().parse_args(argv)
     from .parallel import ResultCache, configure_executor, parse_jobs
 
@@ -154,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             started = time.time()
             before = cache.stats() if cache is not None else None
-            _, table = run_figure(name, quick=args.quick)
+            _, table = run_figure(name, quick=args.quick, prune=args.prune)
             elapsed = time.time() - started
             print()
             print(table)

@@ -1,0 +1,157 @@
+"""Capacity-planning tables: the model as a deployment calculator.
+
+``repro model`` renders the analytic model's predictions for an
+arbitrary deployment — per-ring resource capacities and the bottleneck,
+aggregate scaling, the subscribe-all learner ceilings, latency at a
+given offered load, and (with ``--clients``) a feasibility verdict for
+a client population. Because it is closed-form arithmetic it answers at
+scales the simulator cannot touch (``repro model --rings 64 --clients
+1000000`` returns instantly).
+"""
+
+from __future__ import annotations
+
+from ..calibration import DEFAULT_VALUE_SIZE
+from .analytic import MultiRingModel, RingModel
+
+__all__ = ["capacity_table", "model_main"]
+
+
+def _fmt_rate(msgs_per_s: float) -> str:
+    return f"{msgs_per_s:,.0f} msg/s"
+
+
+def capacity_table(
+    n_rings: int = 1,
+    *,
+    durable: bool = False,
+    ring_size: int = 2,
+    value_size: int = DEFAULT_VALUE_SIZE,
+    lambda_rate: float = 9000.0,
+    delta: float = 1e-3,
+    offered_mbps: float | None = None,
+    wan_rtt_ms: float = 0.0,
+    clients: int | None = None,
+    client_rate: float = 1.0,
+    subscribe_all: bool = False,
+) -> str:
+    """Render the model's capacity-planning report as a table string."""
+    ring = RingModel(
+        value_size=value_size,
+        durable=durable,
+        ring_size=ring_size,
+        lambda_rate=lambda_rate,
+        delta=delta,
+        member_rtts=(wan_rtt_ms * 1e-3,) if wan_rtt_ms > 0 else (),
+    )
+    mrp = MultiRingModel(ring, n_rings)
+    mode = "Recoverable" if durable else "In-memory"
+    lines = [
+        f"capacity plan: {n_rings} ring(s) x {ring_size} acceptors, {mode}, "
+        f"{value_size} B values"
+        + (f", one member {wan_rtt_ms:g} ms RTT away" if wan_rtt_ms > 0 else "")
+    ]
+
+    lines.append("")
+    lines.append("per-ring resource capacities")
+    lines.append(f"  {'resource':<22s} {'Mbps':>10s} {'values/s':>14s}")
+    for resource, cap in sorted(ring.capacities().items(), key=lambda kv: kv[1]):
+        mbps = cap * value_size * 8.0 / 1e6
+        lines.append(f"  {resource:<22s} {mbps:>10.1f} {cap:>14,.0f}")
+    lines.append(
+        f"  bottleneck: {ring.bottleneck()} -> saturation "
+        f"{ring.saturation_mbps:.1f} Mbps ({_fmt_rate(ring.saturation_msgs_per_s)})"
+    )
+
+    lines.append("")
+    lines.append("latency")
+    lines.append(f"  unloaded decision latency: {ring.base_latency_s() * 1e3:.3f} ms")
+    if offered_mbps is not None:
+        rt = ring.response_time_s(offered_mbps)
+        rt_text = "past saturation" if rt == float("inf") else f"{rt * 1e3:.3f} ms"
+        lines.append(f"  response time at {offered_mbps:g} Mbps/ring: {rt_text}")
+
+    lines.append("")
+    lines.append("aggregate")
+    agg = mrp.aggregate_saturation_mbps(subscribe_all=subscribe_all)
+    lines.append(
+        f"  {n_rings} ring(s), "
+        + ("one learner on all groups" if subscribe_all else "one learner per group")
+        + f": {agg:.1f} Mbps (bottleneck: {mrp.bottleneck(subscribe_all=subscribe_all)})"
+    )
+    if subscribe_all or n_rings > 1:
+        lines.append(
+            f"  subscribe-all ceilings: learner ingress "
+            f"{mrp.learner_ingress_ceiling_mbps():.1f} Mbps, learner CPU "
+            f"{mrp.learner_cpu_ceiling_mbps():.1f} Mbps"
+        )
+
+    if clients is not None:
+        agg_msgs = agg * 1e6 / 8.0 / value_size
+        demand = clients * client_rate
+        util = demand / agg_msgs if agg_msgs > 0 else float("inf")
+        lines.append("")
+        lines.append("client population")
+        lines.append(
+            f"  {clients:,} clients x {client_rate:g} req/s = {_fmt_rate(demand)} "
+            f"({demand * value_size * 8.0 / 1e6:.1f} Mbps payload)"
+        )
+        lines.append(
+            f"  deployment utilization: {util * 100:.1f}%"
+            + (" -- INFEASIBLE (demand exceeds capacity)" if util > 1.0 else "")
+        )
+        if util <= 1.0:
+            per_ring_mbps = demand * value_size * 8.0 / 1e6 / n_rings
+            rt = ring.response_time_s(per_ring_mbps)
+            if rt != float("inf"):
+                lines.append(f"  expected response time: {rt * 1e3:.3f} ms")
+            lines.append(
+                f"  headroom: {_fmt_rate(agg_msgs - demand)} "
+                f"({(agg_msgs - demand) / max(client_rate, 1e-12):,.0f} more clients)"
+            )
+    return "\n".join(lines)
+
+
+def model_main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``repro model``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro model",
+        description="Print the analytic model's capacity plan for a deployment.",
+    )
+    parser.add_argument("--rings", type=int, default=1, help="number of rings")
+    parser.add_argument("--acceptors", type=int, default=2, help="acceptors per ring")
+    parser.add_argument("--durable", action="store_true", help="Recoverable mode")
+    parser.add_argument("--value-size", type=int, default=DEFAULT_VALUE_SIZE,
+                        help="value/batch size in bytes")
+    parser.add_argument("--lambda-rate", type=float, default=9000.0,
+                        help="Multi-Ring skip rate lambda (0 disables skips)")
+    parser.add_argument("--delta", type=float, default=1e-3,
+                        help="skip sampling interval Delta in seconds")
+    parser.add_argument("--offered", type=float, default=None, metavar="MBPS",
+                        help="per-ring offered load for response-time estimate")
+    parser.add_argument("--wan-rtt-ms", type=float, default=0.0,
+                        help="RTT of one WAN-stretched ring member")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client population for a feasibility verdict")
+    parser.add_argument("--client-rate", type=float, default=1.0,
+                        help="requests/s per client (with --clients)")
+    parser.add_argument("--subscribe-all", action="store_true",
+                        help="aggregate through one learner on all groups")
+    args = parser.parse_args(argv)
+
+    print(capacity_table(
+        args.rings,
+        durable=args.durable,
+        ring_size=args.acceptors,
+        value_size=args.value_size,
+        lambda_rate=args.lambda_rate,
+        delta=args.delta,
+        offered_mbps=args.offered,
+        wan_rtt_ms=args.wan_rtt_ms,
+        clients=args.clients,
+        client_rate=args.client_rate,
+        subscribe_all=args.subscribe_all,
+    ))
+    return 0

@@ -1,0 +1,209 @@
+"""Model-guided sweep pruning: skip points the model says are flat.
+
+A figure sweep simulates a grid of operating points, but the analytic
+model (:mod:`repro.model.analytic`) already knows where nothing
+interesting happens: below ~saturation a ring delivers exactly what is
+offered, and Figure 5's series are linear in the ring count (M-RP) or
+flat in the node count (the baselines). Points deep inside such a
+region carry no information the enclosing anchor points don't — so the
+pruner keeps the anchors, **simulates them**, and linearly interpolates
+the interior from the simulated anchor results.
+
+Safety rules:
+
+* A point is pruned only when the model places it strictly inside a
+  predicted-flat/linear span whose **both anchors are simulated** — the
+  interpolation never extrapolates and never crosses a predicted knee.
+* Series endpoints are always kept (every integration-asserted shape
+  involves an endpoint).
+* Pruned points are returned in place, tagged ``extra["model"] ==
+  "interpolated"`` — they are never silently dropped, and tables keep
+  their full shape.
+
+The decision logic consults the model, not a hardcoded list: change a
+calibration constant and the flat regions move with it; make a series
+nonlinear (e.g. a subscribe-all ingress ceiling) and the linearity
+check refuses to prune it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..parallel import Spec, run_sweep
+from .analytic import MultiRingModel, RingModel, baseline_saturation_mbps
+
+__all__ = [
+    "PrunePlan",
+    "run_pruned_sweep",
+    "figure1_plan",
+    "figure5_plan",
+    "FLAT_UTILIZATION",
+]
+
+# A point is "deep inside the flat region" when the model's predicted
+# bottleneck utilization there stays below this. The enclosing anchors
+# are simulated, so delivered throughput interpolates exactly on the
+# delivered == offered segment the model predicts.
+FLAT_UTILIZATION = 0.95
+
+# Predicted series are treated as linear/flat only when interpolating
+# the model's own curve reproduces it within this relative error.
+_LINEARITY_TOL = 0.02
+
+
+@dataclass(frozen=True, slots=True)
+class PrunePlan:
+    """Which sweep indices to simulate, and how to fill in the rest.
+
+    ``interp[i] = (left, right, t)`` reconstructs pruned index ``i``
+    from simulated indices ``left``/``right`` at fraction ``t`` of the
+    sweep coordinate (offered load, ring count, ...).
+    """
+
+    n_points: int
+    interp: dict[int, tuple[int, int, float]]
+
+    @property
+    def kept(self) -> list[int]:
+        return [i for i in range(self.n_points) if i not in self.interp]
+
+    @property
+    def n_pruned(self) -> int:
+        return len(self.interp)
+
+
+def _lerp_result(left, right, t: float):
+    """Interpolate two :class:`~repro.bench.runner.PointResult` anchors."""
+    extra = {}
+    for key, lv in left.extra.items():
+        rv = right.extra.get(key)
+        if isinstance(lv, (int, float)) and isinstance(rv, (int, float)):
+            extra[key] = lv + (rv - lv) * t
+        else:
+            extra[key] = lv
+    extra["model"] = "interpolated"
+    return replace(
+        left,
+        offered_mbps=left.offered_mbps + (right.offered_mbps - left.offered_mbps) * t,
+        delivered_mbps=left.delivered_mbps + (right.delivered_mbps - left.delivered_mbps) * t,
+        msgs_per_s=left.msgs_per_s + (right.msgs_per_s - left.msgs_per_s) * t,
+        latency_ms=left.latency_ms + (right.latency_ms - left.latency_ms) * t,
+        cpu_pct=left.cpu_pct + (right.cpu_pct - left.cpu_pct) * t,
+        extra=extra,
+    )
+
+
+def run_pruned_sweep(specs: list[Spec], plan: PrunePlan):
+    """Run only the plan's kept specs; interpolate and tag the rest.
+
+    Returns a result list of the full sweep length, in spec order, so
+    callers can zip it against their grid exactly as with
+    :func:`~repro.parallel.run_sweep`.
+    """
+    if plan.n_points != len(specs):
+        raise ValueError("plan/specs length mismatch")
+    kept = plan.kept
+    kept_results = dict(zip(kept, run_sweep([specs[i] for i in kept])))
+    out = []
+    for i in range(plan.n_points):
+        if i in plan.interp:
+            left, right, t = plan.interp[i]
+            out.append(_lerp_result(kept_results[left], kept_results[right], t))
+        else:
+            out.append(kept_results[i])
+    return out
+
+
+def _prune_flat_run(
+    interp: dict[int, tuple[int, int, float]],
+    indices: list[int],
+    coords: list[float],
+) -> None:
+    """Keep a flat run's endpoints; interpolate its interior in-place."""
+    if len(indices) < 3:
+        return
+    first, last = indices[0], indices[-1]
+    lo, hi = coords[0], coords[-1]
+    for idx, x in zip(indices[1:-1], coords[1:-1]):
+        t = (x - lo) / (hi - lo) if hi != lo else 0.5
+        interp[idx] = (first, last, t)
+
+
+def figure1_plan(grid: list[tuple[bool, float]]) -> PrunePlan:
+    """Prune Figure 1's grid of ``(durable, offered_mbps)`` points.
+
+    Per mode, the model gives the saturation throughput (coordinator
+    CPU for In-memory, acceptor disk for Recoverable); consecutive
+    points with predicted bottleneck utilization below
+    :data:`FLAT_UTILIZATION` form the flat region where delivered ==
+    offered, and its interior is interpolated between the two kept
+    anchors (coordinate: offered load). Points at or past the knee are
+    always simulated.
+    """
+    interp: dict[int, tuple[int, int, float]] = {}
+    for durable in (False, True):
+        # Figure 1's runner drives a plain single Ring Paxos: no Multi-
+        # Ring skip traffic, so model it with λ = 0.
+        sat = RingModel(durable=durable, lambda_rate=0.0).saturation_mbps
+        run_idx: list[int] = []
+        run_coord: list[float] = []
+        for i, (d, offered) in enumerate(grid):
+            if d == durable and offered <= FLAT_UTILIZATION * sat:
+                run_idx.append(i)
+                run_coord.append(offered)
+            elif d == durable:
+                _prune_flat_run(interp, run_idx, run_coord)
+                run_idx, run_coord = [], []
+        _prune_flat_run(interp, run_idx, run_coord)
+    return PrunePlan(len(grid), interp)
+
+
+def _series_prediction(system: str, durable: bool, ns: list[int]) -> list[float] | None:
+    """The model's predicted aggregate Mbps at each series point.
+
+    ``None`` for a system the model has no claim about — its series
+    must run in full.
+    """
+    if system.endswith("M-RP"):
+        ring = RingModel(durable=durable)
+        return MultiRingModel(ring, max(ns)).scaling_curve(ns)
+    try:
+        flat = baseline_saturation_mbps(system)
+    except ValueError:
+        return None
+    return [flat] * len(ns)
+
+
+def _is_linear(ns: list[int], preds: list[float]) -> bool:
+    """Does interpolating the endpoints reproduce the model's curve?"""
+    lo, hi = ns[0], ns[-1]
+    plo, phi = preds[0], preds[-1]
+    for n, p in zip(ns[1:-1], preds[1:-1]):
+        fitted = plo + (phi - plo) * (n - lo) / (hi - lo)
+        if abs(fitted - p) > _LINEARITY_TOL * max(abs(p), 1e-9):
+            return False
+    return True
+
+
+def figure5_plan(grid: list[tuple[str, int]]) -> PrunePlan:
+    """Prune Figure 5's grid of ``(system, n)`` series points.
+
+    Each system's series is pruned to its endpoints only when the model
+    predicts the whole span is linear in ``n`` (M-RP: one saturated
+    ring per added ring) or flat (single-instance Ring Paxos, Spread,
+    LCR: the substrate, not the node count, binds). A series the model
+    cannot certify — or one with under three points — runs in full.
+    """
+    interp: dict[int, tuple[int, int, float]] = {}
+    systems: dict[str, list[int]] = {}
+    for i, (system, _) in enumerate(grid):
+        systems.setdefault(system, []).append(i)
+    for system, indices in systems.items():
+        ns = [grid[i][1] for i in indices]
+        if len(indices) < 3 or sorted(ns) != ns:
+            continue
+        preds = _series_prediction(system, durable=system.startswith("DISK"), ns=ns)
+        if preds is not None and _is_linear(ns, preds):
+            _prune_flat_run(interp, indices, [float(n) for n in ns])
+    return PrunePlan(len(grid), interp)

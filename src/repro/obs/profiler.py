@@ -104,6 +104,16 @@ class SimProfiler:
         rows.sort(key=lambda r: (-r.utilization, r.component))
         return rows
 
+    def utilizations(self, start: float = 0.0, end: float | None = None) -> dict[str, float]:
+        """Measured utilization per component, as a plain dict.
+
+        The export the model-vs-sim validator consumes: keys are the
+        profiler's component names (``<node>.cpu``, ``<node>.nic.tx``,
+        ``<node>.disk``, ...), values are busy fractions of the window.
+        Idle components are omitted, like :meth:`report`.
+        """
+        return {row.component: row.utilization for row in self.report(start, end)}
+
     def saturated(self, start: float = 0.0, end: float | None = None) -> ProfileRow | None:
         """The most-utilized component over the window (None if all idle)."""
         rows = self.report(start, end)

@@ -36,7 +36,14 @@ at >15% of a full protocol run):
   the bucket width (between ``1 / W_INV_MAX`` and ``1 / W_INV_MIN``),
   re-bucketing in O(pending). Protocol runs sit near sub-µs NIC/CPU
   service times while idle phases are timer-sparse; one static width
-  cannot serve both regimes.
+  cannot serve both regimes. Bimodal schedules (dense sub-µs protocol
+  events interleaved with tens-of-ms WAN hops) can make the two signals
+  disagree forever — the density average asks for wide buckets, which
+  immediately reenter and trigger the narrow escape — so widening
+  resizes back off exponentially after each escape instead of flapping
+  every other adjustment period (each flap re-buckets all pending
+  entries; a WAN-stretched geo run used to spend ~10% of its wall clock
+  there).
 
 Every entry is a plain ``(time, seq, fn, args, event-or-None)`` tuple, so
 ordering comparisons run as C tuple comparisons and never reach the third
@@ -80,6 +87,9 @@ W_INV_MAX = 2e6
 W_INV_MIN = 2.0
 ADJUST_EVERY = 128
 TARGET_PER_BUCKET = 8.0
+# Widening backoff cap: after repeated reentry escapes, a widening
+# resize is attempted at most once per this many adjustment periods.
+WIDEN_BACKOFF_CAP = 64
 
 
 class Event:
@@ -148,6 +158,7 @@ class EventQueue:
         "_ring", "_ids", "_overflow", "_reentry", "_batch", "_bi",
         "_cursor", "_winv", "_seq", "_cancelled",
         "_adj_batches", "_adj_drained", "_adj_reentered", "_adj_t0",
+        "_adj_skip", "_adj_backoff",
     )
 
     def __init__(self) -> None:
@@ -168,6 +179,11 @@ class EventQueue:
         self._adj_drained = 0
         self._adj_reentered = 0
         self._adj_t0 = 0.0
+        # Flap damping: adjustment periods left before the next widening
+        # resize may fire, and the backoff level the next reentry escape
+        # will re-arm it to (doubles per escape, capped).
+        self._adj_skip = 0
+        self._adj_backoff = 1
 
     def __len__(self) -> int:
         n = len(self._batch) - self._bi + len(self._reentry) + len(self._overflow)
@@ -311,7 +327,17 @@ class EventQueue:
         return batch
 
     def _maybe_adjust(self) -> None:
-        """Re-tune the bucket width to the observed event density."""
+        """Re-tune the bucket width to the observed event density.
+
+        Narrowing (reentry escape, density overshoot) always applies:
+        narrow buckets are performance-safe, just sparser. Widening is
+        where a bimodal schedule flaps — the density average asks for
+        wide buckets that the dense mode immediately reenters out of —
+        so each reentry escape doubles a backoff counter and widening
+        resizes are skipped for that many adjustment periods. One calm
+        period (no resize wanted, negligible reentry) disarms the
+        backoff, so genuine regime changes still widen at full speed.
+        """
         drained = self._adj_drained
         reentered = self._adj_reentered
         self._adj_batches = 0
@@ -324,17 +350,33 @@ class EventQueue:
         if reentered * 2 > drained:
             # Buckets too wide: events keep landing at/behind the drain.
             target = winv * 4.0
-        elif span > 0.0 and drained > 0:
-            target = drained / (span * TARGET_PER_BUCKET)
-        else:
+            if target > W_INV_MAX:
+                target = W_INV_MAX
+            if target / winv > 2.0:
+                self._adj_backoff = min(self._adj_backoff * 2, WIDEN_BACKOFF_CAP)
+                self._adj_skip = self._adj_backoff
+                self._resize(target)
             return
+        if span <= 0.0 or drained == 0:
+            return
+        target = drained / (span * TARGET_PER_BUCKET)
         if target > W_INV_MAX:
             target = W_INV_MAX
         elif target < W_INV_MIN:
             target = W_INV_MIN
         ratio = target / winv
-        if ratio < 0.5 or ratio > 2.0:
+        if ratio > 2.0:
             self._resize(target)
+        elif ratio < 0.5:
+            if self._adj_skip > 0:
+                self._adj_skip -= 1
+                return
+            self._resize(target)
+        elif reentered * 8 < drained:
+            # Width fits and reentry is quiet: the schedule is unimodal
+            # again, so the next widening need not wait out the backoff.
+            self._adj_skip = 0
+            self._adj_backoff = 1
 
     def _resize(self, winv: float) -> None:
         """Re-bucket every stored entry under a new width. O(pending)."""

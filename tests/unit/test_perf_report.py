@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench.perf import (
     DEFAULT_BASELINE_PATH,
+    baseline_mode_mismatch,
     check_min_speedups,
     compare_to_baseline,
     load_report,
@@ -86,6 +87,54 @@ def test_write_report_surfaces_baseline_provenance_and_speedup(tmp_path):
     assert report["baseline"]["note"] == "heap kernel"
     assert report["baseline"]["recorded_at"]
     assert json.loads(out.read_text())["baseline"]["note"] == "heap kernel"
+
+
+def test_update_baseline_stamps_mode_per_entry(tmp_path):
+    path = tmp_path / "baseline.json"
+    update_baseline(path, "quick", {"k": _entry(50.0)})
+    data = json.loads(path.read_text())
+    assert data["modes"]["quick"]["mode"] == "quick"
+    assert baseline_mode_mismatch(data, "quick") is None
+
+
+def test_mode_mismatch_skips_speedup_instead_of_comparing(tmp_path):
+    # A baseline entry recorded in another mode (hand-copied, or a legacy
+    # flat file) must not be compared against: quick and full numbers
+    # measure different configurations.
+    base_path = tmp_path / "baseline.json"
+    update_baseline(base_path, "quick", {"k": _entry(100.0)})
+    baseline = json.loads(base_path.read_text())
+    baseline["modes"]["full"] = dict(baseline["modes"]["quick"])  # still mode=quick
+    assert baseline_mode_mismatch(baseline, "full") == "quick"
+    report = write_report(tmp_path / "report.json", "full", {"k": _entry(500.0)}, baseline)
+    assert report["speedup"] == {}
+    assert report["baseline"]["benchmarks"] == {}
+    assert report["baseline"]["mode_mismatch"] == "quick"
+
+
+def test_legacy_flat_baseline_mode_handling(tmp_path):
+    # Legacy flat baselines: benchmarks + provenance at the top level.
+    legacy = {
+        "benchmarks": {"k": _entry(100.0)},
+        "mode": "quick",
+        "recorded_at": "2026-08-06T00:00:00Z",
+        "note": "flat-file era",
+    }
+    # Same mode: comparable, provenance surfaced.
+    report = write_report(tmp_path / "r1.json", "quick", {"k": _entry(200.0)}, legacy)
+    assert report["speedup"]["k"] == pytest.approx(2.0)
+    assert report["baseline"]["note"] == "flat-file era"
+    # Cross mode: skipped, not compared.
+    assert baseline_mode_mismatch(legacy, "full") == "quick"
+    report = write_report(tmp_path / "r2.json", "full", {"k": _entry(200.0)}, legacy)
+    assert report["speedup"] == {}
+
+
+def test_pre_stamp_mode_entries_stay_comparable():
+    # Entries recorded before the per-entry mode stamp rely on their
+    # storage key; they must keep comparing (no spurious mismatch).
+    baseline = {"modes": {"quick": {"benchmarks": {"k": _entry(100.0)}}}}
+    assert baseline_mode_mismatch(baseline, "quick") is None
 
 
 def test_committed_baseline_carries_provenance_note():
