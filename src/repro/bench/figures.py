@@ -502,6 +502,63 @@ def figure_clients(quick: bool = False):
     return rows, table
 
 
+def figure_elasticity(quick: bool = False):
+    """Elasticity: throughput through a live remap and a ring split.
+
+    Two groups each sustain a steady closed-loop load. At ``remap_at``
+    the reconfiguration manager moves group 1 from ring 1 onto ring 0
+    (drain, leave/join cuts, seq handoff) while traffic keeps flowing;
+    at ``split_at`` the now-doubled ring 0 is split, deploying a fresh
+    ring mid-run and moving group 1 onto it. The table and sparklines
+    show per-group and total delivered throughput staying up across
+    both epoch changes; the annotations report when each operation
+    committed. ``quick=True`` shortens the run for CI smoke runs.
+    """
+    timing = (
+        {"duration": 8.0, "remap_at": 2.0, "split_at": 5.0}
+        if quick else
+        {"duration": 40.0, "remap_at": 10.0, "split_at": 25.0}
+    )
+    [res] = run_sweep([
+        _point("run_elasticity_timeseries", rate_msgs_per_s=3000.0, **timing)
+    ])
+    delivered = dict((round(t), v) for t, v in res.delivered_mbps)
+    g0 = dict((round(t), v) for t, v in res.multicast_mbps[0])
+    g1 = dict((round(t), v) for t, v in res.multicast_mbps[1])
+    marks = {
+        round(timing["remap_at"]): "remap group 1 -> ring 0",
+        round(timing["split_at"]): "split ring 0",
+    }
+    rows = [
+        (t, f"{g0.get(t, 0):.0f}", f"{g1.get(t, 0):.0f}",
+         f"{delivered.get(t, 0):.0f}", marks.get(t, ""))
+        for t in range(int(timing["duration"]))
+    ]
+    table = format_table(
+        "Elasticity: live group remap at "
+        f"t={timing['remap_at']:.0f}s, ring split at t={timing['split_at']:.0f}s",
+        ["t (s)", "group0 Mbps", "group1 Mbps", "delivered Mbps", "event"],
+        rows,
+    )
+    table += "\n\n" + ascii_multi_series(
+        {
+            "group0 Mbps   ": res.multicast_mbps[0],
+            "group1 Mbps   ": res.multicast_mbps[1],
+            "delivered Mbps": res.delivered_mbps,
+        },
+        title="throughput over time (sparklines)",
+    )
+    table += (
+        f"\n\nremap committed at t={res.extra['remap_done_at']:.3f}s"
+        f" (triggered t={res.extra['remap_at']:.1f}s);"
+        f" split deployed ring {res.extra['split_new_ring']}"
+        f" (final epoch {res.extra['final_epoch']},"
+        f" {res.extra['values_bounced']:.0f} bounced,"
+        f" {res.extra['values_forwarded']:.0f} forwarded)"
+    )
+    return res, table
+
+
 FIGURES = {
     "fig1": figure1,
     "fig2": figure2,
@@ -516,6 +573,7 @@ FIGURES = {
     "mencius": related_mencius,
     "geo": figure_geo,
     "clients": figure_clients,
+    "elasticity": figure_elasticity,
 }
 
 

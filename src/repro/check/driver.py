@@ -211,6 +211,20 @@ def draw_config(rng: random.Random, profile: str = "default") -> CaseConfig:
         config.population_rate = float(rng.choice([800, 1600]))
         config.admission_inflight = rng.choice([16, 32, 64])
         config.admission_queue = rng.choice([32, 128])
+    elif profile == "reconfig":
+        # Overrides on top of the frozen base: live elasticity. Remaps
+        # need at least two groups (so a move actually changes the
+        # mapping), and every learner subscribes to every group —
+        # identical subscription sets are the scope within which the
+        # deterministic merge defines a common order across an in-flight
+        # remap (see docs/protocol.md). Volatile acceptors, no replicas:
+        # checkpoint truncation during a mid-move coordinator change is a
+        # documented open interaction, not what this profile hunts.
+        config.profile = profile
+        config.durable = False
+        if config.n_groups == 1:
+            config.n_groups = 2
+        config.learners = [list(range(config.n_groups)) for _ in config.learners]
     elif profile != "default":
         raise ValueError(f"unknown fuzz profile {profile!r}")
     return config
@@ -390,6 +404,13 @@ def _restart_laggards(
                     )
                     break
         elif kind == "acceptor" and target in accept_base:
+            # A ring retired by a completed merge stops deciding (its skip
+            # manager is down), so its restarted acceptors legitimately
+            # never accept again — there is nothing left to converge to.
+            ring_id = int(target.split(":")[1])
+            handle = runner.mrp.rings.get(ring_id)
+            if handle is not None and handle.retired:
+                continue
             if role.accepts.value <= accept_base[target]:
                 lag[target] = (
                     f"no accepts since restart (stuck at {role.accepts.value:g})"
@@ -433,6 +454,9 @@ def run_case(
                 crash_targets=topology.crash_targets
                 + tuple(f"replica:{i}" for i in range(len(replicas))),
                 nodes=topology.nodes,
+                wan_pairs=topology.wan_pairs,
+                groups=topology.groups,
+                rings=topology.rings,
             )
         schedule = generate_schedule(rng, topology, config.duration, config.profile)
     extra_roles = {f"replica:{i}": replica for i, replica in enumerate(replicas)}
@@ -569,13 +593,16 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=None,
                         help="override the per-case fault/workload window (s)")
     parser.add_argument("--profile", default="default",
-                        choices=("default", "restart-heavy", "geo", "overload"),
+                        choices=("default", "restart-heavy", "geo", "overload",
+                                 "reconfig"),
                         help="fault/config mix: 'default' (balanced), "
                              "'restart-heavy' (crash/restart churn with "
                              "checkpointing replicas), 'geo' (multi-"
                              "datacenter with WAN partitions and jitter), "
-                             "or 'overload' (client-population surge into "
-                             "admission-controlled gateways under outages)")
+                             "'overload' (client-population surge into "
+                             "admission-controlled gateways under outages), "
+                             "or 'reconfig' (live group remaps and ring "
+                             "splits/merges racing crashes and partitions)")
     parser.add_argument("--grace", type=float, default=6.0,
                         help="liveness grace after forced heal (simulated s)")
     parser.add_argument("--out", default="fuzz-failures",

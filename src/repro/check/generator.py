@@ -36,12 +36,16 @@ class Topology:
     (``coordinator:R``, ``acceptor:R:I``, ``learner:I``, ``proposer:I``);
     ``nodes`` are machine names eligible for partition islands;
     ``wan_pairs`` are region pairs whose WAN link can be cut (empty on a
-    single-switch fabric).
+    single-switch fabric); ``groups`` and ``rings`` are the deployment's
+    atomic-multicast group ids and ring ids, the operands of the
+    elasticity steps (remap / ring_split / ring_merge).
     """
 
     crash_targets: tuple[str, ...]
     nodes: tuple[str, ...]
     wan_pairs: tuple[tuple[str, str], ...] = ()
+    groups: tuple[int, ...] = ()
+    rings: tuple[int, ...] = ()
 
 
 def topology_of(mrp: "MultiRingPaxos") -> Topology:
@@ -68,6 +72,8 @@ def topology_of(mrp: "MultiRingPaxos") -> Topology:
         crash_targets=tuple(targets),
         nodes=tuple(sorted(mrp.network.nodes)),
         wan_pairs=wan_pairs,
+        groups=tuple(mrp.registry.group_ids()),
+        rings=tuple(sorted(mrp.rings)),
     )
 
 
@@ -106,7 +112,9 @@ def generate_schedule(
     (plus light crash churn) for multi-region deployments. ``"overload"``
     aims crash/restart pairs at ring coordinators and the client
     population's gateway proposers, forcing timeout/retry/failover and
-    admission-queue pressure.
+    admission-queue pressure. ``"reconfig"`` interleaves live elasticity
+    operations — group remaps, ring splits and merges — with crash churn
+    and partitions, aimed at the epoch-cut protocol's hand-off paths.
     """
     lo, hi = 0.05 * duration, 0.85 * duration
     if profile == "restart-heavy":
@@ -115,6 +123,8 @@ def generate_schedule(
         return _geo_schedule(rng, topology, duration, lo, hi)
     if profile == "overload":
         return _overload_schedule(rng, topology, duration, lo, hi)
+    if profile == "reconfig":
+        return _reconfig_schedule(rng, topology, duration, lo, hi)
     if profile != "default":
         raise ValueError(f"unknown schedule profile {profile!r}")
     steps: list[ScheduleStep] = []
@@ -192,6 +202,68 @@ def _restart_heavy_schedule(
         island = tuple(sorted(rng.sample(list(topology.nodes), k)))
         steps.append(ScheduleStep(start, "partition", island=island))
         steps.append(ScheduleStep(end, "heal"))
+
+    return Schedule(steps)
+
+
+def _reconfig_schedule(
+    rng: random.Random, topology: Topology, duration: float, lo: float, hi: float
+) -> Schedule:
+    """The elasticity mix: epoch cuts racing the faults they must survive.
+
+    Several group remaps (including deliberate no-ops and back-to-back
+    moves of the same group — the manager queues them) plus an occasional
+    ring split, sometimes merged back, land inside the fault window. The
+    split's fresh ring gets the next free id, known at generation time
+    because ring ids are allocated ``max + 1``; a merge drawn without a
+    preceding split is aimed between existing rings. On top: the same
+    crash/restart churn and partition windows as the default mix, so
+    drains, bounced-value forwarding and cut retries run under coordinator
+    loss and network splits — the hand-off paths the epoch-boundary
+    oracles watch.
+    """
+    steps: list[ScheduleStep] = []
+    groups = topology.groups or (0,)
+    rings = list(topology.rings or (0,))
+
+    for _ in range(rng.randint(1, 3)):
+        steps.append(ScheduleStep(
+            rng.uniform(lo, hi), "remap",
+            group=rng.choice(groups), ring=rng.choice(rings),
+        ))
+
+    if rng.random() < 0.6:
+        t = rng.uniform(lo, 0.7 * hi)
+        source = rng.choice(rings)
+        steps.append(ScheduleStep(t, "ring_split", ring=source))
+        new_ring = max(rings) + 1
+        if rng.random() < 0.5:
+            steps.append(ScheduleStep(
+                rng.uniform(t, hi), "ring_merge",
+                island=(str(new_ring), str(source)),
+            ))
+    elif len(rings) > 1:
+        a, b = rng.sample(rings, 2)
+        steps.append(ScheduleStep(
+            rng.uniform(lo, hi), "ring_merge", island=(str(a), str(b)),
+        ))
+
+    for _ in range(rng.randint(1, 2)):
+        target = rng.choice(topology.crash_targets)
+        t = rng.uniform(lo, hi)
+        steps.append(ScheduleStep(t, "crash", target=target))
+        dt = rng.uniform(0.05, 0.25) * duration
+        steps.append(ScheduleStep(min(t + dt, hi), "restart", target=target))
+
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        k = rng.randint(1, max(1, len(topology.nodes) // 2))
+        island = tuple(sorted(rng.sample(list(topology.nodes), k)))
+        steps.append(ScheduleStep(start, "partition", island=island))
+        steps.append(ScheduleStep(end, "heal"))
+
+    for start, end in _phase_windows(rng, lo, hi, rng.randint(0, 1)):
+        steps.append(ScheduleStep(start, "loss", p=round(rng.uniform(0.01, 0.15), 4)))
+        steps.append(ScheduleStep(end, "loss_end"))
 
     return Schedule(steps)
 

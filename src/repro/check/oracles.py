@@ -18,7 +18,23 @@ Section II-B):
   (:meth:`SafetyOracles.check_final`, since the property is over whole
   delivery histories);
 * **Replica convergence** — SMR replicas of one partition apply their
-  common commands in the same order (also in the final check).
+  common commands in the same order (also in the final check);
+* **Epoch monotonicity** — every role that reports a configuration epoch
+  (``reconfig.epoch``) reports a non-decreasing sequence: a role going
+  *back* to an older configuration would re-split the very group streams
+  the cuts just stitched together;
+* **Group FIFO across epochs** — each learner delivers each sender's
+  messages of one group in strictly increasing seq order
+  (:meth:`SafetyOracles.check_final`). Within one ring this is implied by
+  ring order; the oracle's force is at reconfiguration boundaries, where
+  a group's stream moves between rings and a lost, duplicated or
+  reordered hand-off would show up as a seq regression or repeat.
+
+The ``reconfig.drain`` probe is bookkeeping rather than a property: a
+learner joining a ring mid-stream at the epoch's join instance J starts
+its decided stream at J by design, so the probe re-bases that ring
+learner's expected instance (otherwise ring order would read the
+documented jump as a gap).
 
 Oracles are *passive*: they subscribe to a probe bus, never schedule
 simulation events, and therefore never perturb a run — an instrumented
@@ -51,6 +67,8 @@ from ..obs.probe import (
     LEARNER_ROLLBACK,
     POPULATION_COMPLETE,
     PROPOSER_MULTICAST,
+    RECONFIG_DRAIN,
+    RECONFIG_EPOCH,
     REPLICA_APPLY,
     REPLICA_RESTORE,
     ProbeBus,
@@ -68,8 +86,8 @@ class OracleViolation(ReproError):
     ----------
     oracle:
         Which property broke: ``agreement``, ``integrity``, ``ring-order``,
-        ``partial-order``, ``replica-order`` or (from the fuzz driver)
-        ``liveness``.
+        ``partial-order``, ``replica-order``, ``epoch-order``,
+        ``group-fifo`` or (from the fuzz driver) ``liveness``.
     time:
         Simulated time of the offending event (0 for whole-history checks).
     source:
@@ -123,6 +141,8 @@ class SafetyOracles:
         self._apply_log: dict[tuple[int, str], list[tuple[str, int, str]]] = {}
         # ring id -> highest decided logical frontier any learner reached.
         self._ring_frontier: dict[int, int] = {}
+        # probe source -> highest configuration epoch it has reported.
+        self._epochs: dict[str, int] = {}
         self.events_checked = 0
 
     # ------------------------------------------------------------------
@@ -144,6 +164,8 @@ class SafetyOracles:
         bus.subscribe(self._on_rollback, kind=LEARNER_ROLLBACK)
         bus.subscribe(self._on_rewind, kind=LEARNER_REWIND)
         bus.subscribe(self._on_restore, kind=REPLICA_RESTORE)
+        bus.subscribe(self._on_reconfig_epoch, kind=RECONFIG_EPOCH)
+        bus.subscribe(self._on_reconfig_drain, kind=RECONFIG_DRAIN)
         return self
 
     # ------------------------------------------------------------------
@@ -224,6 +246,43 @@ class SafetyOracles:
         )
 
     # ------------------------------------------------------------------
+    # Reconfiguration events
+    # ------------------------------------------------------------------
+    def _on_reconfig_epoch(self, ev: ProbeEvent) -> None:
+        """A role adopted (or the manager installed) a configuration epoch.
+
+        Epochs must be non-decreasing per source. Equal repeats are fine:
+        the manager reports each epoch twice (operation start and done),
+        and a learner may see the same cut from several rings.
+        """
+        self.events_checked += 1
+        epoch = ev.data["epoch"]
+        highest = self._epochs.get(ev.source, 0)
+        if epoch < highest:
+            raise OracleViolation(
+                "epoch-order",
+                f"{ev.data.get('role', 'role')} reported epoch {epoch} after "
+                f"already reaching epoch {highest}",
+                time=ev.time,
+                source=ev.source,
+                context={"epoch": epoch, "highest": highest},
+            )
+        self._epochs[ev.source] = epoch
+
+    def _on_reconfig_drain(self, ev: ProbeEvent) -> None:
+        """A learner joined a ring mid-stream at the epoch's join instance.
+
+        The new ring learner starts consuming at the join cut J — by the
+        remap protocol nothing of its groups was ordered on that ring
+        below J — so the ring-order oracle's expectation is re-based to J
+        rather than reading the documented jump as a gap. The probe fires
+        before the ring learner's first decide, so re-basing here never
+        races the check in :meth:`_on_decide`.
+        """
+        self.events_checked += 1
+        self._next_instance[ev.data["ring_source"]] = ev.data["instance"]
+
+    # ------------------------------------------------------------------
     # Recovery events: rewind the logs to the restored checkpoint
     # ------------------------------------------------------------------
     def _on_rollback(self, ev: ProbeEvent) -> None:
@@ -284,12 +343,15 @@ class SafetyOracles:
 
         Raises :class:`OracleViolation` if two learners deliver their
         common messages in different relative orders (uniform partial
-        order), or two replicas of one partition apply their common
-        commands in different orders.
+        order), a learner delivers one sender's messages of one group out
+        of seq order (group FIFO — the property reconfiguration epochs
+        must preserve across ring moves), or two replicas of one
+        partition apply their common commands in different orders.
         """
         self._check_pairwise_common_order(
             self._delivery_log, oracle="partial-order", what="messages"
         )
+        self._check_group_fifo()
         by_partition: dict[int, dict[str, list]] = {}
         for (partition, replica), log in self._apply_log.items():
             by_partition.setdefault(partition, {})[replica] = log
@@ -297,6 +359,34 @@ class SafetyOracles:
             self._check_pairwise_common_order(
                 logs, oracle="replica-order", what=f"partition {partition} commands"
             )
+
+    def _check_group_fifo(self) -> None:
+        """Per learner, per (sender, group): delivered seqs strictly rise.
+
+        Within one ring this follows from per-ring total order plus the
+        coordinator's in-order ingestion. The oracle earns its keep at
+        epoch boundaries: when a group moves rings, the sender's seq is
+        bumped past its old ring's stream and bounced values keep their
+        old seqs, so a hand-off that loses the boundary ordering — a
+        new-ring value slipping in front of the drained suffix, or a
+        bounced value delivered twice under one seq — reads as a seq
+        repeat or regression here.
+        """
+        for learner, log in sorted(self._delivery_log.items()):
+            last: dict[tuple[str, int], int] = {}
+            for sender, seq, group in log:
+                key = (sender, group)
+                prev = last.get(key)
+                if prev is not None and seq <= prev:
+                    raise OracleViolation(
+                        "group-fifo",
+                        f"sender {sender} group {group} delivered seq {seq} "
+                        f"after seq {prev}",
+                        source=learner,
+                        context={"sender": sender, "group": group,
+                                 "seq": seq, "previous": prev},
+                    )
+                last[key] = seq
 
     @staticmethod
     def _check_pairwise_common_order(logs: dict[str, list], oracle: str, what: str) -> None:

@@ -2,7 +2,9 @@
 
 A :class:`Schedule` is a flat, time-ordered list of :class:`ScheduleStep`
 records — crash/restart of a named role, partition/heal of a node island,
-loss phases, and slow-network / slow-disk phases. It is pure data: the
+loss phases, slow-network / slow-disk phases, and elasticity operations
+(group remaps, ring splits/merges) handed to the deployment's
+reconfiguration manager. It is pure data: the
 whole schedule round-trips through JSON, which is what makes a failing
 fuzz run a *file* (``repro fuzz --replay failure.json``) rather than a
 stack trace.
@@ -32,6 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["ScheduleStep", "Schedule", "ScheduleRunner", "ACTIONS"]
 
 # Paired phase actions: the second member ends what the first started.
+# The elasticity actions (remap, ring_split, ring_merge) are unpaired:
+# each hands one operation to the deployment's reconfiguration manager,
+# which drives it to completion (or queues it) on its own.
 ACTIONS = (
     "crash", "restart",
     "partition", "heal",
@@ -40,6 +45,7 @@ ACTIONS = (
     "slow_disk", "slow_disk_end",
     "wan_partition", "wan_heal",
     "wan_jitter", "wan_jitter_end",
+    "remap", "ring_split", "ring_merge",
 )
 
 
@@ -48,8 +54,11 @@ class ScheduleStep:
     """One fault event on the timeline.
 
     Fields are action-dependent: ``target`` for crash/restart, ``island``
-    for partition (node names) and wan_partition (the two region names),
-    ``p`` for loss phases, ``factor`` for slow and wan_jitter phases.
+    for partition (node names), wan_partition (the two region names) and
+    ring_merge (the two ring ids, source then destination, as strings),
+    ``p`` for loss phases, ``factor`` for slow and wan_jitter phases,
+    ``group``/``ring`` for remap (the group and its destination ring) and
+    ``ring`` alone for ring_split.
     """
 
     time: float
@@ -58,6 +67,8 @@ class ScheduleStep:
     island: tuple[str, ...] | None = None
     p: float | None = None
     factor: float | None = None
+    group: int | None = None
+    ring: int | None = None
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -75,6 +86,10 @@ class ScheduleStep:
             out["p"] = self.p
         if self.factor is not None:
             out["factor"] = self.factor
+        if self.group is not None:
+            out["group"] = self.group
+        if self.ring is not None:
+            out["ring"] = self.ring
         return out
 
     @classmethod
@@ -87,6 +102,8 @@ class ScheduleStep:
             island=tuple(island) if island is not None else None,
             p=data.get("p"),
             factor=data.get("factor"),
+            group=data.get("group"),
+            ring=data.get("ring"),
         )
 
     def describe(self) -> str:
@@ -97,6 +114,13 @@ class ScheduleStep:
             detail = f"p={self.p:g}"
         if self.factor is not None:
             detail = f"x{self.factor:g}"
+        if self.group is not None or self.ring is not None:
+            parts = []
+            if self.group is not None:
+                parts.append(f"group={self.group}")
+            if self.ring is not None:
+                parts.append(f"ring={self.ring}")
+            detail = " ".join(parts)
         return f"t={self.time:g}s {self.action} {detail}".rstrip()
 
 
@@ -226,6 +250,18 @@ class ScheduleRunner:
             self.faults.act_at(t, f"wan_jitter x{step.factor:g}", self._wan_jitter, step.factor)
         elif action == "wan_jitter_end":
             self.faults.act_at(t, "wan_jitter_end", self._wan_jitter, 1.0)
+        elif action == "remap":
+            assert step.group is not None and step.ring is not None
+            self.faults.act_at(t, f"remap group {step.group} -> ring {step.ring}",
+                               self._remap, step.group, step.ring)
+        elif action == "ring_split":
+            assert step.ring is not None
+            self.faults.act_at(t, f"ring_split {step.ring}", self._ring_split, step.ring)
+        elif action == "ring_merge":
+            assert step.island is not None and len(step.island) == 2
+            src, dst = step.island
+            self.faults.act_at(t, f"ring_merge {src} -> {dst}",
+                               self._ring_merge, int(src), int(dst))
 
     # ------------------------------------------------------------------
     # Step actions
@@ -315,6 +351,30 @@ class ScheduleRunner:
     def _scale_disks(self, factor: float) -> None:
         for name, base_rate in self._base_disk_rates.items():
             self.mrp.network.nodes[name].disk.drain.rate = base_rate / factor
+
+    # Elasticity steps hand operations to the reconfiguration manager,
+    # which queues and retries them on its own. Like role targets that no
+    # longer resolve, an operation the current configuration rejects — a
+    # group already moved away, a ring retired by an earlier merge — is
+    # skipped, so a schedule stays applicable to whatever the deployment
+    # has become (and to shrunk variants of itself).
+    def _remap(self, group: int, ring: int) -> None:
+        try:
+            self.mrp.reconfig.remap_group(group, ring)
+        except ConfigurationError:
+            pass
+
+    def _ring_split(self, ring: int) -> None:
+        try:
+            self.mrp.reconfig.split_ring(ring)
+        except ConfigurationError:
+            pass
+
+    def _ring_merge(self, source: int, target: int) -> None:
+        try:
+            self.mrp.reconfig.merge_rings(source, target)
+        except ConfigurationError:
+            pass
 
     # ------------------------------------------------------------------
     # The driver's epilogue

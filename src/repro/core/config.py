@@ -80,6 +80,10 @@ class MultiRingConfig:
     spares_per_ring: int = 0
     auto_failover: bool = False
     suspect_timeout: float = 0.05
+    # Failover refuses to shrink a ring below this many acceptors when
+    # the spare pool is exhausted (spare-less takeovers degrade the ring
+    # by one member; see RingFailover).
+    failover_floor: int = 1
     topology: "Topology | None" = None
     group_regions: list[str] | None = None
     ring_regions: list[str] | None = None
@@ -99,6 +103,10 @@ class MultiRingConfig:
             raise ConfigurationError("invalid spares/suspect_timeout")
         if self.auto_failover and self.acceptors_per_ring < 2:
             raise ConfigurationError("failover needs a surviving acceptor per ring")
+        if not 1 <= self.failover_floor <= self.acceptors_per_ring:
+            raise ConfigurationError(
+                "failover_floor must be in [1, acceptors_per_ring]"
+            )
         if self.topology is None:
             if self.group_regions is not None or self.ring_regions is not None:
                 raise ConfigurationError("regions require a topology")

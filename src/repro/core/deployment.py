@@ -55,6 +55,10 @@ class RingHandle:
     acceptors: list[RingAcceptor] = field(default_factory=list)
     spares: list[Node] = field(default_factory=list)
     failover: RingFailover | None = None
+    # A retired ring (emptied by a ring merge) stops producing instances
+    # (its skip manager is down) but its processes stay up: learners that
+    # have not yet consumed their switch cut still drain its stream.
+    retired: bool = False
 
 
 class MultiRingPaxos:
@@ -86,11 +90,18 @@ class MultiRingPaxos:
         self.proposers: list[MultiRingProposer] = []
         self._learner_count = 0
         self._proposer_count = 0
+        self._coordinator_change_cbs: list[Callable[[int, RingCoordinator], None]] = []
         assert self.config.n_rings is not None
         for ring_id in range(self.config.n_rings):
             self.rings[ring_id] = self._build_ring(ring_id)
         for group_id in range(self.config.n_groups):
             self.registry.add(group_id, self.config.ring_of_group(group_id))
+        # Elasticity: epoch-numbered live remaps, ring splits/merges, and
+        # the autoscaler hang off this manager. Constructing it is free —
+        # it schedules nothing until an operation is requested.
+        from .reconfig import ReconfigManager
+
+        self.reconfig = ReconfigManager(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -173,6 +184,7 @@ class MultiRingPaxos:
                     lambda coord, ring_id=ring_id: self._on_ring_failover(ring_id, coord)
                 ),
                 metrics=self.metrics,
+                min_ring_size=cfg.failover_floor,
             )
         return handle
 
@@ -300,3 +312,59 @@ class MultiRingPaxos:
             handle.failover.config = coordinator.config
         for proposer in self.proposers:
             proposer.retarget(ring_id, coordinator.config)
+        # Learners carry a ring-config map for rings they may join later
+        # (reconfiguration); keep it pointing at the live layout.
+        for learner in self.learners:
+            learner.ring_configs[ring_id] = coordinator.config
+        for callback in self._coordinator_change_cbs:
+            callback(ring_id, coordinator)
+
+    def on_coordinator_change(
+        self, callback: Callable[[int, RingCoordinator], None]
+    ) -> None:
+        """Run ``callback(ring_id, coordinator)`` after each failover.
+
+        Invoked once the deployment has re-pointed proposers and the skip
+        manager — per-coordinator state (group redirects, decide hooks)
+        re-installs here."""
+        self._coordinator_change_cbs.append(callback)
+
+    # ------------------------------------------------------------------
+    # Elastic membership (ring add / retire)
+    # ------------------------------------------------------------------
+    def add_ring(self, region: str | None = None) -> int:
+        """Deploy a fresh, empty ring; returns its id.
+
+        The ring starts with no groups — traffic arrives once the
+        reconfiguration manager remaps a group onto it. Every existing
+        learner and proposer learns the new ring's configuration so it
+        can subscribe or submit there later.
+        """
+        ring_id = max(self.rings) + 1 if self.rings else 0
+        if region is not None:
+            self.ring_placement[ring_id] = region
+        handle = self._build_ring(ring_id)
+        self.rings[ring_id] = handle
+        for learner in self.learners:
+            learner.ring_configs[ring_id] = handle.config
+        for proposer in self.proposers:
+            proposer.ring_configs[ring_id] = handle.config
+        return ring_id
+
+    def retire_ring(self, ring_id: int) -> None:
+        """Take an emptied ring out of service (ring-merge completion).
+
+        The ring must no longer order any group. Its skip manager stops
+        (no new instances), but acceptors and the coordinator stay up so
+        lagging learners can finish draining the decided stream.
+        """
+        handle = self.rings[ring_id]
+        if handle.retired:
+            return
+        remaining = self.registry.groups_on_ring(ring_id)
+        if remaining:
+            raise ConfigurationError(
+                f"cannot retire ring {ring_id}: still orders groups {remaining}"
+            )
+        handle.retired = True
+        handle.skip_manager.crash()

@@ -59,6 +59,28 @@ class GroupRegistry:
         """Ring ordering messages of ``group_id``."""
         return self.get(group_id).ring_id
 
+    def remap(self, group_id: int, ring_id: int, known_rings=None) -> Group:
+        """Re-bind ``group_id`` to ``ring_id`` (the elasticity primitive).
+
+        The table only changes the binding; the drain/handoff protocol
+        that makes a live remap safe lives in
+        :class:`~repro.core.reconfig.ReconfigManager`. Idempotent: a
+        remap onto the current ring returns the existing binding
+        unchanged. With ``known_rings`` supplied, a destination outside
+        it is rejected — the deployment passes its live ring ids so a
+        group can never be remapped onto a ring that does not exist.
+        """
+        current = self.get(group_id)
+        if known_rings is not None and ring_id not in known_rings:
+            raise ConfigurationError(
+                f"cannot remap group {group_id} to unknown ring {ring_id}"
+            )
+        if current.ring_id == ring_id:
+            return current
+        group = Group(group_id, ring_id)
+        self._groups[group_id] = group
+        return group
+
     def group_ids(self) -> list[int]:
         """All group ids, ascending (the canonical total order)."""
         return sorted(self._groups)

@@ -22,9 +22,16 @@ from typing import Callable
 
 
 from ..metrics import BucketSeries, Counter, MetricsRegistry
+from ..obs.probe import RECONFIG_DRAIN, RECONFIG_EPOCH
 from ..ringpaxos.config import RingConfig
 from ..ringpaxos.learner import RingLearner
-from ..ringpaxos.messages import ClientValue, DataBatch, SkipRange
+from ..ringpaxos.messages import (
+    CONTROL_GROUP,
+    ClientValue,
+    ConfigChange,
+    DataBatch,
+    SkipRange,
+)
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.process import Process
@@ -109,6 +116,19 @@ class MultiRingLearner(Process):
             on_halt=self._on_halt,
             metrics=self.metrics,
         )
+        # Reconfiguration state. ``ring_configs`` is this learner's own
+        # map (the deployment keeps it current) so a ring joined later can
+        # be subscribed; ``_group_rings`` is the local group->ring view,
+        # advanced only at cut consumption so the merge switches at the
+        # decided boundary, not at the wall-clock moment of the remap.
+        self.ring_configs = ring_configs
+        self.epoch = 0
+        self._learner_index = learner_index
+        self._series_bucket = series_bucket
+        self._metrics_base = base
+        self._group_rings = {gid: registry.ring_for(gid) for gid in self.subscriptions}
+        self._moves: dict[int, dict] = {}
+        self._hold_groups: dict[int, int] = {}  # group -> epoch mid-move
         self.ring_learners: dict[int, RingLearner] = {}
         for ring_id in ring_order:
             config = ring_configs[ring_id]
@@ -138,6 +158,19 @@ class MultiRingLearner(Process):
     # Merged delivery
     # ------------------------------------------------------------------
     def _merged_delivery(self, ring_id: int, instance: int, value: ClientValue) -> None:
+        if value.group == CONTROL_GROUP:
+            if isinstance(value.payload, ConfigChange):
+                self._on_config_change(ring_id, instance, value.payload)
+            return
+        held = self._hold_groups.get(value.group)
+        if held is not None and ring_id == self._moves[held]["new_ring"]:
+            # Mid-move: the group's new ring is already delivering, but
+            # this learner has not yet consumed the switch cut on the old
+            # ring — its old-ring suffix for the group is still ahead.
+            # Park the value; it is flushed, in new-ring order, at the
+            # switch (so the group's stream stays old-suffix-then-new).
+            self._moves[held]["holds"].append((ring_id, instance, value))
+            return
         if value.group not in self.group_bytes:
             # A co-hosted group this learner does not subscribe to: the
             # bandwidth and CPU were already spent; the message is dropped.
@@ -168,6 +201,118 @@ class MultiRingLearner(Process):
         """Merge buffer overflowed: the learner halts (paper, Section VI-E)."""
         # Deliveries stop; incoming traffic keeps arriving and is buffered
         # (and eventually dropped) — mirroring a process whose heap is full.
+
+    # ------------------------------------------------------------------
+    # Reconfiguration cuts (consumed in-stream, in merged order)
+    # ------------------------------------------------------------------
+    def _on_config_change(self, ring_id: int, instance: int, cut: ConfigChange) -> None:
+        """Act on an epoch cut at its decided position in the merge.
+
+        Every learner consumes the cuts of a move at a definite point of
+        its delivery sequence, so all learners with the same subscription
+        set reconfigure at the same logical boundary:
+
+        * ``join`` (new ring): from here on, values of the moving group
+          may appear on the new ring — hold them until the old-ring
+          suffix is drained (i.e. until the switch cut);
+        * ``leave`` (old ring): the last old-epoch value of the group
+          precedes this cut — informational, the suffix ends here;
+        * ``switch`` (old ring): the activation point — re-derive the
+          ring set with the group on its new ring, reset the merge
+          cursor, flush held values, and (for learners new to the ring)
+          start a ring learner positioned at the join instance.
+        """
+        move = self._moves.get(cut.epoch)
+        if move is None:
+            move = {
+                "epoch": cut.epoch,
+                "group": cut.group,
+                "old_ring": cut.old_ring,
+                "new_ring": cut.new_ring,
+                "join_instance": cut.join_instance,
+                "holds": [],
+                "switched": False,
+            }
+            self._moves[cut.epoch] = move
+        if cut.kind == "join":
+            move["join_instance"] = max(move["join_instance"], instance)
+            if cut.group in self.group_bytes and not move["switched"]:
+                self._hold_groups[cut.group] = cut.epoch
+        elif cut.kind == "switch":
+            move["join_instance"] = cut.join_instance
+            if not move["switched"]:
+                move["switched"] = True
+                self._activate_move(move)
+        self._adopt_epoch(cut)
+
+    def _activate_move(self, move: dict) -> None:
+        group = move["group"]
+        self._hold_groups.pop(group, None)
+        if group not in self.group_bytes:
+            return  # a co-hosted group's move; our ring set is unchanged
+        new_ring = move["new_ring"]
+        self._group_rings[group] = new_ring
+        new_order = self._derive_ring_order()
+        if new_ring not in self.ring_learners:
+            self._start_ring_learner(new_ring, move["join_instance"], move["epoch"])
+        # The old-ring suffix is fully delivered (the switch follows the
+        # leave in the old ring's stream); the held new-ring values are
+        # next, in their decided order.
+        holds, move["holds"] = move["holds"], []
+        for rid, inst, value in holds:
+            self._merged_delivery(rid, inst, value)
+        for rid in list(self.ring_learners):
+            if rid not in new_order:
+                dropped = self.ring_learners.pop(rid)
+                dropped.crash()
+                self.network.leave(dropped.config.multicast_group, self.node.name)
+        self.merge.set_ring_order(new_order)
+
+    def _derive_ring_order(self) -> list[int]:
+        """The subscription-derived visit order under ``_group_rings`` —
+        the same derivation as ``GroupRegistry.rings_for``, from this
+        learner's (possibly mid-reconfiguration) local view."""
+        order: list[int] = []
+        for gid in self.subscriptions:  # already sorted
+            rid = self._group_rings[gid]
+            if rid not in order:
+                order.append(rid)
+        return order
+
+    def _start_ring_learner(self, ring_id: int, join_instance: int, epoch: int) -> None:
+        learner = RingLearner(
+            self.sim,
+            self.network,
+            self.node,
+            self.ring_configs[ring_id],
+            learner_index=self._learner_index,
+            on_decide=self._make_ring_feed(ring_id),
+            series_bucket=self._series_bucket,
+            metrics=self._metrics_base,
+        )
+        probe = self.sim.probe
+        if probe is not None and probe.wants(RECONFIG_DRAIN):
+            probe.emit(
+                RECONFIG_DRAIN, self.sim.now, self.name,
+                node=self.node.name, ring=ring_id,
+                ring_source=learner.name, instance=join_instance,
+                epoch=epoch,
+            )
+        learner.position_at(join_instance)
+        learner.begin_catchup()
+        self.ring_learners[ring_id] = learner
+
+    def _adopt_epoch(self, cut: ConfigChange) -> None:
+        if cut.epoch <= self.epoch:
+            return
+        self.epoch = cut.epoch
+        probe = self.sim.probe
+        if probe is not None and probe.wants(RECONFIG_EPOCH):
+            probe.emit(
+                RECONFIG_EPOCH, self.sim.now, self.name,
+                node=self.node.name, role="learner", epoch=cut.epoch,
+                group=cut.group, phase=cut.kind,
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -222,7 +367,12 @@ class MultiRingLearner(Process):
         truncate this learner's merged-delivery log to the checkpoint.
         """
         for ring_id, rl in self.ring_learners.items():
-            rl.rollback_to(state["ring_positions"][ring_id])
+            # A ring joined after the checkpoint has no recorded position;
+            # replaying from its join point is handled by the catch-up
+            # path, so leave it where it is (best effort under an
+            # in-flight reconfiguration).
+            if ring_id in state["ring_positions"]:
+                rl.rollback_to(state["ring_positions"][ring_id])
         self.merge.restore(state["merge"])
         self.delivered_log_count = state["delivered"]
         probe = self.sim.probe

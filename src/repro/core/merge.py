@@ -87,13 +87,16 @@ class DeterministicMerge:
         self._queues: dict[int, deque] = {rid: deque() for rid in ring_order}
         self._cursor = 0
         self._quota = m
+        self._restart = False
 
     # ------------------------------------------------------------------
     # Input (called by each ring's learner, in that ring's order)
     # ------------------------------------------------------------------
     def push(self, ring_id: int, instance: int, item: DataBatch | SkipRange, now: float = 0.0) -> None:
         """Feed the next in-order decided item of ``ring_id``."""
-        queue = self._queues[ring_id]
+        queue = self._queues.get(ring_id)
+        if queue is None:
+            return  # stale feed of a ring dropped by a reconfiguration
         if isinstance(item, SkipRange):
             queue.append([item.count])
             self.buffered_instances.add(item.count)
@@ -113,6 +116,7 @@ class DeterministicMerge:
     # The merge loop
     # ------------------------------------------------------------------
     def _advance(self, now: float) -> None:
+        self._restart = False
         n_rings = len(self.ring_order)
         idle_visits = 0
         while idle_visits < n_rings:
@@ -142,6 +146,13 @@ class DeterministicMerge:
                     for value in batch.values:
                         self.delivered_messages.inc()
                         self.on_deliver(ring_id, instance, value)
+                    if self._restart:
+                        # A delivery changed the ring set under us (a
+                        # reconfiguration cut was consumed): every local
+                        # cursor here is stale, start over from the new
+                        # order's first ring.
+                        self._advance(now)
+                        return
                     consumed_any = True
             if self._quota == 0:
                 self._next_ring()
@@ -182,6 +193,41 @@ class DeterministicMerge:
             queue.clear()
             self.queue_gauges[ring_id].set(0)
         self.buffered_instances.set(0)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def set_ring_order(self, ring_order: list[int]) -> None:
+        """Adopt a new visit order at a reconfiguration cut.
+
+        Safe to call from within ``on_deliver`` — the merge loop restarts
+        itself with the new order after finishing the batch in hand. The
+        cursor resets to the first ring: every learner switches at the
+        same point of its delivery stream (the decided cut), so resetting
+        deterministically keeps the common-order guarantee. Queues of
+        rings leaving the subscription are discarded (their remaining
+        items belong to groups this learner no longer receives); rings
+        joining start with an empty queue.
+        """
+        if not ring_order:
+            raise ValueError("merge needs at least one ring")
+        if len(set(ring_order)) != len(ring_order):
+            raise ValueError("ring_order must not repeat rings")
+        for rid in ring_order:
+            if rid not in self._queues:
+                self._queues[rid] = deque()
+                self.queue_gauges.setdefault(rid, self.metrics.gauge("merge_queue_depth", ring=rid))
+        for rid in list(self._queues):
+            if rid not in ring_order:
+                dropped = self.queue_depth(rid)
+                if dropped:
+                    self.buffered_instances.add(-dropped)
+                self.queue_gauges[rid].set(0)
+                del self._queues[rid]
+        self.ring_order = list(ring_order)
+        self._cursor = 0
+        self._quota = self.m
+        self._restart = True
 
     def _halt(self, now: float) -> None:
         self.halted = True

@@ -45,6 +45,9 @@ class MultiRingProposer(Process):
         self.multicast_bytes = self.metrics.counter("multicast_bytes")
         self._ring_proposers: dict[int, RingProposer] = {}
         self.admission: AdmissionController | None = None
+        # Groups mid-remap: new multicasts queue here until the group's
+        # old-ring submissions drained and the move is released.
+        self._held: dict[int, list[tuple[object, int]]] = {}
 
     def enable_admission(self, policy: AdmissionPolicy) -> AdmissionController:
         """Gate :meth:`submit` behind bounded shed-or-delay intake."""
@@ -53,18 +56,72 @@ class MultiRingProposer(Process):
             proposer.on_ack = self.admission.drain
         return self.admission
 
-    def multicast(self, group_id: int, payload: object, size: int) -> ClientValue:
-        """Atomically multicast ``payload`` (``size`` bytes) to ``group_id``."""
-        ring_id = self.registry.ring_for(group_id)
+    def multicast(self, group_id: int, payload: object, size: int) -> ClientValue | None:
+        """Atomically multicast ``payload`` (``size`` bytes) to ``group_id``.
+
+        Returns None while the group is held by a live remap — the
+        payload is queued and multicast (in order) when the move
+        completes, so callers see at most added latency, never loss.
+        """
+        held = self._held.get(group_id)
+        if held is not None:
+            held.append((payload, size))
+            return None
+        proposer = self._ring_proposer(self.registry.ring_for(group_id))
+        self.multicasts.inc()
+        self.multicast_bytes.inc(size)
+        return proposer.multicast(payload, size, group=group_id)
+
+    def _ring_proposer(self, ring_id: int) -> RingProposer:
         proposer = self._ring_proposers.get(ring_id)
         if proposer is None:
             proposer = RingProposer(self.sim, self.network, self.node, self.ring_configs[ring_id])
             if self.admission is not None:
                 proposer.on_ack = self.admission.drain
             self._ring_proposers[ring_id] = proposer
-        self.multicasts.inc()
-        self.multicast_bytes.inc(size)
-        return proposer.multicast(payload, size, group=group_id)
+        return proposer
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (live group remap)
+    # ------------------------------------------------------------------
+    def hold_group(self, group_id: int) -> None:
+        """Queue new multicasts to ``group_id`` while its remap drains."""
+        self._held.setdefault(group_id, [])
+
+    def unacked_for(self, ring_id: int, group_id: int) -> int:
+        """Submissions of ``group_id`` still outstanding on ``ring_id``."""
+        proposer = self._ring_proposers.get(ring_id)
+        if proposer is None:
+            return 0
+        return sum(1 for v in proposer._unacked.values() if v.group == group_id)
+
+    def complete_group_move(self, group_id: int, old_ring: int, new_ring: int) -> bool:
+        """Release a held group once its old-ring submissions drained.
+
+        The registry already points the group at ``new_ring``. The new
+        ring's sequence counter is bumped past the old ring's so a
+        (sender, seq, group) identity can never repeat across the move —
+        the decided watermarks both coordinators keep per sender are
+        monotonic in seq, and the at-most-once oracle keys on the triple.
+        Returns False (retry later) while old-ring values are still
+        undecided or this proposer is down.
+        """
+        if self.crashed:
+            return False
+        if self.unacked_for(old_ring, group_id):
+            return False
+        old = self._ring_proposers.get(old_ring)
+        held = self._held.pop(group_id, None)
+        if old is not None or held:
+            target = self._ring_proposer(new_ring)
+            if old is not None:
+                target.seq = max(target.seq, old.seq)
+        if held:
+            for payload, size in held:
+                self.multicasts.inc()
+                self.multicast_bytes.inc(size)
+                target.multicast(payload, size, group=group_id)
+        return True
 
     def submit(self, group_id: int, payload: object, size: int) -> str:
         """Multicast through admission control (when enabled).

@@ -29,7 +29,15 @@ events the simulated substrate can emit:
 * ``admission.shed`` — a proposer's admission controller rejected a
   submission outright (intake queue full);
 * ``population.complete`` — a client population observed the final
-  response for a request (the client-visible acknowledgement).
+  response for a request (the client-visible acknowledgement);
+* ``failover.suspect`` — a ring acceptor stopped hearing its coordinator
+  and initiated a takeover;
+* ``failover.takeover`` — a ring installed a new coordinator (carries
+  whether a spare filled the hole or the ring degraded in size);
+* ``reconfig.epoch`` — a role observed a configuration epoch boundary
+  (a decided ``ConfigChange`` cut, or the manager opening an epoch);
+* ``reconfig.drain`` — a learner finished draining an old ring's suffix
+  and switched a group's subscription to its new ring.
 
 The protocol-level kinds exist for the safety oracles of ``repro.check``:
 passive checkers subscribe to them and verify agreement, integrity,
@@ -51,6 +59,8 @@ __all__ = [
     "ADMISSION_DELAY",
     "ADMISSION_SHED",
     "EVENT_FIRED",
+    "FAILOVER_SUSPECT",
+    "FAILOVER_TAKEOVER",
     "LEARNER_DECIDE",
     "LEARNER_DELIVER",
     "NET_DELIVER",
@@ -60,6 +70,8 @@ __all__ = [
     "LEARNER_ROLLBACK",
     "POPULATION_COMPLETE",
     "PROPOSER_MULTICAST",
+    "RECONFIG_DRAIN",
+    "RECONFIG_EPOCH",
     "REPLICA_APPLY",
     "REPLICA_RESTORE",
     "SERVER_BUSY",
@@ -82,6 +94,10 @@ REPLICA_RESTORE = "replica.restore"
 ADMISSION_DELAY = "admission.delay"
 ADMISSION_SHED = "admission.shed"
 POPULATION_COMPLETE = "population.complete"
+FAILOVER_SUSPECT = "failover.suspect"
+FAILOVER_TAKEOVER = "failover.takeover"
+RECONFIG_EPOCH = "reconfig.epoch"
+RECONFIG_DRAIN = "reconfig.drain"
 
 
 @dataclass(frozen=True, slots=True)

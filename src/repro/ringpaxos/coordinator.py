@@ -43,6 +43,7 @@ from .messages import (
     CatchupReply,
     CatchupRequest,
     ClientValue,
+    ConfigChange,
     CoordinatorChange,
     DataBatch,
     DecisionAnnounce,
@@ -126,6 +127,12 @@ class RingCoordinator(Process):
         self._submit_expected: dict[str, int] = {}
         self._submit_acked: dict[str, int] = {}
         self._submit_buffer: dict[str, dict[int, ClientValue]] = {}
+        # Group drains (reconfiguration): values of a redirected group are
+        # bounced to the handler instead of being ordered here.
+        self._redirects: dict[int, Callable[[ClientValue], None]] = {}
+        # Idempotence keys of externally injected values (reconfiguration
+        # cuts, forwarded bounces) already accepted for ordering here.
+        self._foreign_keys: set = set()
         self._decided_log: dict[int, DataBatch | SkipRange] = {}
         self._decided_order: deque[int] = deque()
         self._decided_log_limit = 4 * config.window + 1024
@@ -168,6 +175,52 @@ class RingCoordinator(Process):
     def submit_local(self, value: ClientValue) -> None:
         """Inject a client value as if received from a proposer (no network)."""
         if self.crashed:
+            return
+        self._ingest(value)
+
+    def submit_unique(self, key, value: ClientValue) -> bool:
+        """Inject ``value`` locally at most once per ``key``.
+
+        Reconfiguration retries its control submissions until their
+        decision is observed; the key set — re-seeded from recovered
+        values after a takeover — keeps those retries idempotent even
+        across coordinator changes. Returns False on a duplicate.
+        """
+        if self.crashed or key in self._foreign_keys:
+            return False
+        self._foreign_keys.add(key)
+        self._ingest(value)
+        return True
+
+    def redirect_group(self, group_id: int, handler: Callable[[ClientValue], None]) -> None:
+        """Bounce future submissions of ``group_id`` to ``handler``.
+
+        Installed at the start of a group drain, *before* the leave cut
+        is submitted, so no value of the group can be ordered after the
+        cut. Bounced values have already passed per-sender dedup — the
+        handler receives each exactly once per coordinator incarnation.
+        """
+        self._redirects[group_id] = handler
+
+    def clear_redirect(self, group_id: int) -> None:
+        """Remove a group drain installed by :meth:`redirect_group`."""
+        self._redirects.pop(group_id, None)
+
+    def note_foreign_decide(self, sender: str, seq: int) -> None:
+        """Advance ``sender``'s decided watermark for a value ordered
+        elsewhere (a bounced value decided on the group's new ring), and
+        ack so the proposer can drop it."""
+        if self.crashed:
+            return
+        if seq > self._submit_acked.get(sender, -1):
+            self._submit_acked[sender] = seq
+        self._send_ack(sender)
+
+    def _ingest(self, value: ClientValue) -> None:
+        """Order ``value`` here — or bounce it if its group is draining."""
+        handler = self._redirects.get(value.group)
+        if handler is not None:
+            handler(value)
             return
         self.submissions.inc()
         self.batcher.add(value)
@@ -347,14 +400,15 @@ class RingCoordinator(Process):
             return
         if isinstance(msg, Submit):
             self.node.cpu.execute(
-                CPU_FIXED_COST_SMALL_MESSAGE, self._accept_submission, src, msg.value
+                CPU_FIXED_COST_SMALL_MESSAGE, self._accept_submission, src, msg.value,
+                msg.floor,
             )
         elif isinstance(msg, RepairRequest):
             self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._repair, src, msg)
         elif isinstance(msg, PromiseRange):
             self.node.cpu.execute(CPU_FIXED_COST_SMALL_MESSAGE, self._on_promise_range, msg)
 
-    def _accept_submission(self, src: str, value: ClientValue) -> None:
+    def _accept_submission(self, src: str, value: ClientValue, floor: int = 0) -> None:
         """Dedup/reorder per-proposer submissions, then batch them.
 
         Proposer->coordinator links can lose messages; proposers
@@ -362,18 +416,32 @@ class RingCoordinator(Process):
         FIFO order (buffering gaps). Acknowledgements are cumulative and
         sent only once the value's batch *decides* — an ack therefore
         guarantees the value survives coordinator crashes (validity).
+
+        ``floor`` is the sender's stream floor (see
+        :class:`~repro.ringpaxos.messages.Submit`): every seq below it is
+        decided, so the cursor may jump forward over seq ranges the
+        sender will never send — e.g. the range a group remap burned when
+        it bumped the sender's seq past its old ring's.
         """
         if self.crashed:
             return
         expected = self._submit_expected.get(src, 0)
+        buffered = self._submit_buffer.get(src)
+        if floor > expected:
+            if buffered:
+                for stale in [s for s in buffered if s < floor]:
+                    del buffered[stale]
+            expected = floor
+            while buffered and expected in buffered:
+                self._ingest(buffered.pop(expected))
+                expected += 1
+            self._submit_expected[src] = expected
         if value.seq == expected:
-            self.submissions.inc()
-            self.batcher.add(value)
+            self._ingest(value)
             expected += 1
             buffered = self._submit_buffer.get(src)
             while buffered and expected in buffered:
-                self.submissions.inc()
-                self.batcher.add(buffered.pop(expected))
+                self._ingest(buffered.pop(expected))
                 expected += 1
             self._submit_expected[src] = expected
         elif value.seq > expected:
@@ -393,7 +461,11 @@ class RingCoordinator(Process):
         """Advance the decided watermark for every sender in the batch."""
         senders = set()
         for value in batch.values:
-            if value.sender:
+            # A redirected value carries a seq from the sender's stream on
+            # the ring it was bounced off — folding it into this ring's
+            # watermark would ack (and drop) undecided local submissions.
+            # Its origin coordinator is acked via note_foreign_decide.
+            if value.sender and not value.redirected:
                 senders.add(value.sender)
                 acked = max(self._submit_acked.get(value.sender, -1), value.seq)
                 self._submit_acked[value.sender] = acked
@@ -545,9 +617,18 @@ class RingCoordinator(Process):
         for _, item in best.values():
             if isinstance(item, DataBatch):
                 for value in item.values:
-                    if value.sender:
+                    if value.sender and not value.redirected:
                         have = self._submit_expected.get(value.sender, 0)
                         self._submit_expected[value.sender] = max(have, value.seq + 1)
+                    # Re-seed the idempotence keys of recovered control
+                    # cuts and forwarded bounces, so the reconfiguration
+                    # manager's retries stay exactly-once across this
+                    # coordinator change.
+                    if isinstance(value.payload, ConfigChange):
+                        cut = value.payload
+                        self._foreign_keys.add(("cut", cut.epoch, cut.kind))
+                    if value.redirected:
+                        self._foreign_keys.add(("fwd", value.sender, value.seq))
         max_vid = -1
         cursor = 0
         while cursor < horizon:
@@ -593,9 +674,13 @@ class RingCoordinator(Process):
 
         The coordinator's volatile queues survive in this model (the paper
         restarts the same process); undecided in-flight instances are
-        re-driven by re-multicasting their Phase 2A.
+        re-driven by re-multicasting their Phase 2A, and anything stuck in
+        the batcher goes out immediately — on an idle ring nothing else
+        would re-arm the batch timeout, and a buffered control value must
+        not wedge a reconfiguration.
         """
         self._heartbeat_timer.start()
+        self.batcher.flush()
         for state in self._inflight.values():
             state.attempt += 1
             state.ring_accepted = False

@@ -408,6 +408,32 @@ class RingLearner(Process):
                 ring=self.config.ring_id, node=self.node.name, instance=instance,
             )
 
+    def position_at(self, instance: int) -> None:
+        """Start consuming the ring at ``instance``, skipping the prefix.
+
+        Used when a learner joins a ring mid-stream at a reconfiguration
+        cut: everything before the cut belongs to epochs this learner
+        never subscribed to, so it is not a rollback (no rewind probe) —
+        the oracle is repositioned by the manager's ``reconfig.drain``
+        event instead. The frontier only moves forward: multicast traffic
+        observed before positioning keeps its evidence.
+        """
+        self.next_instance = instance
+        self.frontier = max(self.frontier, instance)
+        for ready in list(self._ready):
+            if ready < instance:
+                item = self._ready.pop(ready)
+                if isinstance(item, DataBatch):
+                    self.values.forget(item.value_id)
+        for waiting in list(self._awaiting_value):
+            if waiting < instance:
+                vid = self._awaiting_value.pop(waiting)
+                self._awaiting_by_vid.pop(vid, None)
+        self.reorder_depth.set(len(self._ready))
+        self._repair_attempts = 0
+        self._last_repair_instance = -1
+        self._emit_ready()
+
     def on_crash(self) -> None:
         self._repair_timer.stop()
         self._catchup_timer.stop()

@@ -16,7 +16,9 @@ from typing import ClassVar
 from ..calibration import CONTROL_MESSAGE_SIZE
 
 __all__ = [
+    "CONTROL_GROUP",
     "ClientValue",
+    "ConfigChange",
     "DataBatch",
     "SkipRange",
     "Submit",
@@ -37,6 +39,11 @@ __all__ = [
 
 _DECISION_ENTRY_BYTES = 12  # (instance, value id) pair on the wire
 
+# Sentinel group id for in-ring control traffic (reconfiguration cuts).
+# Real groups are non-negative; every learner receives control values on
+# any ring it subscribes to, regardless of its group subscriptions.
+CONTROL_GROUP = -1
+
 
 @dataclass(frozen=True, slots=True)
 class ClientValue:
@@ -52,6 +59,11 @@ class ClientValue:
     seq: int = 0
     created_at: float = 0.0
     group: int = 0
+    # True for a value bounced off a draining ring and re-submitted on the
+    # group's new ring during a remap. Its ``seq`` belongs to the sender's
+    # *old-ring* stream, so the new ring's coordinator must not fold it
+    # into that sender's local ack watermark.
+    redirected: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,9 +116,18 @@ class Submit:
     Submissions are sequenced per proposer (``value.seq``) so the
     coordinator can deduplicate retransmissions and restore FIFO order —
     one-to-one links may lose messages (Section II-A).
+
+    ``floor`` is the sender's lowest still-undecided seq at send time:
+    every seq below it is decided and will never be sent (again). The
+    coordinator may skip its expected-seq cursor up to the floor — after
+    a group remap bumps a sender's seq past its old ring's (to keep
+    (sender, seq, group) identities unique across the move), the skipped
+    range would otherwise be a gap the in-order ingestion waits on
+    forever.
     """
 
     value: ClientValue
+    floor: int = 0
 
     @property
     def size(self) -> int:
@@ -269,6 +290,42 @@ class CheckpointAck:
     replica: str
     ring_id: int
     instance: int
+
+    size: ClassVar[int] = CONTROL_MESSAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigChange:
+    """An epoch cut, decided *in-ring* as a control value's payload.
+
+    A group remap installs three cuts, all carried inside ordinary
+    :class:`ClientValue` payloads on the :data:`CONTROL_GROUP` sentinel
+    group, so each cut has a definite position in a ring's decided
+    stream:
+
+    * ``kind="leave"`` decided first, on the *source* ring at instance C
+      — every value the old ring orders for the group occupies an
+      instance < C, so the group's old-epoch suffix is exactly the
+      stream up to the cut;
+    * ``kind="join"`` decided on the *destination* ring at instance J —
+      the first instance of the new epoch for the group there (no value
+      of the group is ordered on the destination before J);
+    * ``kind="switch"`` decided on the *source* ring after the join,
+      carrying ``join_instance=J`` — it tells learners that drain the
+      old ring (including ones not yet subscribed to the destination)
+      where to start consuming the new ring.
+
+    ``epoch`` numbers the configuration; every role adopting the cut
+    reports it, and the epoch-monotonicity oracle holds each role to a
+    non-decreasing sequence.
+    """
+
+    epoch: int
+    group: int
+    old_ring: int
+    new_ring: int
+    kind: str  # "leave" | "join" | "switch"
+    join_instance: int = -1
 
     size: ClassVar[int] = CONTROL_MESSAGE_SIZE
 

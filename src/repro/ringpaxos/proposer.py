@@ -95,7 +95,11 @@ class RingProposer(Process):
         return value
 
     def _send(self, value: ClientValue) -> None:
-        msg = Submit(value)
+        # The floor (lowest undecided seq) lets the coordinator skip seq
+        # ranges this proposer will never send — a bumped seq after a
+        # group remap must not read as a gap to wait on.
+        floor = next(iter(self._unacked)) if self._unacked else self.seq
+        msg = Submit(value, floor=floor)
         self.network.send(
             self.node.name, self.coordinator, self.config.coord_port, msg, msg.size
         )

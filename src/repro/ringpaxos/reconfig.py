@@ -33,6 +33,7 @@ from typing import Callable
 
 from ..errors import ConfigurationError
 from ..metrics import MetricsRegistry
+from ..obs.probe import FAILOVER_SUSPECT, FAILOVER_TAKEOVER
 from ..paxos.ballot import next_round
 from ..sim.network import Network
 from ..sim.node import Node
@@ -57,9 +58,12 @@ class RingFailover:
         suspect_timeout: float | None = None,
         on_new_coordinator: Callable[[RingCoordinator], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        min_ring_size: int = 1,
     ) -> None:
         if not acceptors:
             raise ConfigurationError("failover needs at least one non-coordinator acceptor")
+        if min_ring_size < 1:
+            raise ConfigurationError("min_ring_size must be at least 1")
         if suspect_timeout is None:
             suspect_timeout = config.suspect_timeout
         self.sim = sim
@@ -70,14 +74,32 @@ class RingFailover:
         self.suspect_timeout = suspect_timeout
         self.on_new_coordinator = on_new_coordinator
         self.metrics = metrics
+        self.min_ring_size = min_ring_size
         self.new_coordinator: RingCoordinator | None = None
         self.takeovers = 0
+        self.degraded_takeovers = 0
+        self.refused_takeovers = 0
         self.last_rnd = 0
+        base = metrics if metrics is not None else MetricsRegistry()
+        own = base.child(ring=config.ring_id, role="failover")
+        self._suspects_ctr = own.counter("suspects")
+        self._takeovers_ctr = own.counter("takeovers")
+        self._degraded_ctr = own.counter("degraded_takeovers")
+        self._refused_ctr = own.counter("refused_takeovers")
+        self._ring_size_gauge = own.gauge("ring_size")
+        self._ring_size_gauge.set(config.ring_size)
         # The total acceptor universe (in-ring + spares) defines majority.
         self.total_acceptors = config.ring_size + len(self.spare_nodes)
         self._in_progress = False
+        self._last_degraded = False
         for acceptor in self.acceptors:
             acceptor.watch_coordinator(suspect_timeout, self._on_suspect)
+
+    def _emit(self, kind: str, **data) -> None:
+        bus = self.sim.probe
+        if bus is not None and bus.wants(kind):
+            bus.emit(kind, self.sim.now, f"failover/ring{self.config.ring_id}",
+                     ring=self.config.ring_id, **data)
 
     @property
     def majority(self) -> int:
@@ -90,11 +112,27 @@ class RingFailover:
     def _on_suspect(self, suspecting: RingAcceptor) -> None:
         if self._in_progress or suspecting.crashed:
             return
-        self._in_progress = True
-        self.takeovers += 1
+        self._suspects_ctr.inc()
+        self._emit(FAILOVER_SUSPECT, by=suspecting.node.name,
+                   coordinator=self.config.coordinator)
         survivors = [a for a in self.acceptors if not a.crashed and a.node.up]
         if suspecting not in survivors:
             survivors.append(suspecting)
+        # With the spare pool exhausted, a takeover shrinks the ring by
+        # one member. That degradation is explicit: refuse outright when
+        # it would take the ring below the floor, re-arming the watch so
+        # the takeover retries if membership recovers.
+        new_size = len(survivors) + (1 if self.spare_nodes else 0)
+        if new_size < self.min_ring_size:
+            self.refused_takeovers += 1
+            self._refused_ctr.inc()
+            self._emit(FAILOVER_TAKEOVER, refused=True, ring_size=new_size,
+                       floor=self.min_ring_size)
+            suspecting.watch_coordinator(self.suspect_timeout, self._on_suspect)
+            return
+        self._in_progress = True
+        self.takeovers += 1
+        self._takeovers_ctr.inc()
         # Deterministic initiator: the lowest-indexed survivor. (The first
         # suspicion usually comes from it anyway; if another acceptor's
         # timer fired first, defer to the canonical choice.)
@@ -107,9 +145,14 @@ class RingFailover:
         if self.spare_nodes:
             spare_node = self.spare_nodes.pop(0)
             new_order.append(spare_node.name)
+        self._last_degraded = spare_node is None
+        if self._last_degraded:
+            self.degraded_takeovers += 1
+            self._degraded_ctr.inc()
         new_order.extend(a.node.name for a in others)
         new_order.append(initiator.node.name)
         new_config = dataclasses.replace(self.config, acceptors=new_order)
+        self._ring_size_gauge.set(len(new_order))
 
         if spare_node is not None:
             # Instantiate the spare's acceptor role with the new layout
@@ -135,12 +178,24 @@ class RingFailover:
         if spare_acceptor is not None:
             self.acceptors.append(spare_acceptor)
         local = initiator.local_promise(0, rnd)
-        promises_needed = max(0, self.majority - 1)
+        # The universe majority is capped at the members that can still
+        # answer Phase 1 (survivors re-chained into the new layout plus
+        # the joining spare). Sound because a decision required accepts
+        # from ALL in-ring acceptors and every takeover re-proposes the
+        # recovered history under its round into the new membership — any
+        # surviving in-ring member alone covers the decided prefix. The
+        # uncapped count wedges a degraded (spare-exhausted) takeover
+        # forever: the initiator would await promises from the dead.
+        reachable = len(others) + (1 if spare_acceptor is not None else 0)
+        promises_needed = min(max(0, self.majority - 1), reachable)
         coordinator.begin_takeover(local, promises_needed, on_recovered=self._recovered)
 
     def _recovered(self, coordinator: RingCoordinator) -> None:
         self._in_progress = False
         self.config = coordinator.config
+        self._emit(FAILOVER_TAKEOVER, coordinator=coordinator.node.name,
+                   rnd=coordinator.rnd, ring_size=coordinator.config.ring_size,
+                   degraded=self._last_degraded)
         # Re-arm failure detection on the new ring's member acceptors so
         # a later failure of the new coordinator can also be handled
         # (while spares remain).
@@ -157,9 +212,6 @@ class RingFailover:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _node_by_name(self, name: str) -> Node:
-        return self.network.node(name)
-
     def _universe_index(self, acceptor: RingAcceptor) -> int:
         """A stable ballot-owner index for ``acceptor`` in the universe."""
         return acceptor.index % self.total_acceptors

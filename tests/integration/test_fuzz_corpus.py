@@ -153,6 +153,76 @@ def test_replica_crash_past_first_checkpoint_recovers():
     assert result.ok, f"replica checkpoint recovery failed: {result.message}"
 
 
+# Reconfig profile: live elasticity — group remaps, ring splits and
+# merges — racing crash churn, partitions and loss, under the
+# epoch-boundary oracles (epoch-order, group-fifo, plus the re-based
+# ring-order check). seed: (n_groups, elasticity actions the drawn
+# schedule must contain) — pinned so a generator change cannot silently
+# drop the coverage the seed was chosen for.
+RECONFIG_CORPUS = {
+    0: (2, {"remap", "ring_split"}),            # remaps + split, loss window
+    6: (3, {"remap", "ring_split", "ring_merge"}),  # split then merge back
+    10: (3, {"remap", "ring_split"}),           # split + remaps under partition
+    14: (2, {"ring_split", "ring_merge"}),      # split/merge + partition + churn
+    17: (3, {"remap", "ring_merge"}),           # merge under loss + partition
+    25: (2, {"remap", "ring_merge"}),           # chained remaps then merge
+}
+
+
+@pytest.mark.parametrize("seed", sorted(RECONFIG_CORPUS))
+def test_reconfig_corpus_seed_runs_clean(seed):
+    result = run_case(seed, profile="reconfig")
+    assert result.ok, f"reconfig seed {seed} regressed: {result.message}"
+    assert result.events_checked > 100
+    expected_groups, expected_actions = RECONFIG_CORPUS[seed]
+    assert result.config.profile == "reconfig"
+    assert result.config.n_groups == expected_groups
+    # Every learner consumes every group (the profile's common-order scope).
+    assert all(subs == list(range(expected_groups)) for subs in result.config.learners)
+    actions = {s.action for s in result.schedule.steps}
+    assert expected_actions <= actions
+
+
+def test_group_remap_survives_partition_of_source_ring():
+    """Acceptance schedule: a live remap's source ring is partitioned off
+    mid-move. Seed 0 maps group 1 onto ring 1; the remap starts at 0.3 s
+    and the partition isolates ring 1's coordinator and an acceptor at
+    0.35 s — before the leave cut can decide — so the manager's retry
+    timer must carry the cut across the heal at 0.8 s. Everything the
+    proposer multicast must still deliver exactly once, in per-sender
+    seq order, with epochs monotone (group-fifo / epoch-order oracles).
+    """
+    base = run_case(0, profile="reconfig")
+    assert base.ok
+    schedule = Schedule([
+        ScheduleStep(0.3, "remap", group=1, ring=0),
+        ScheduleStep(0.35, "partition", island=("mr1-acc0", "mr1-coord")),
+        ScheduleStep(0.8, "heal"),
+    ])
+    result = run_case(0, config=base.config, schedule=schedule)
+    assert result.ok, f"remap across partition broke an oracle: {result.message}"
+    assert result.events_checked > 100
+
+
+def test_ring_split_under_load_delivers_everything():
+    """Acceptance schedule: consolidate both groups onto ring 0, then
+    split the now-overloaded ring while the workload is still submitting
+    (traffic spans the first 80% of the run). The split deploys a fresh
+    ring mid-run and moves group 1 onto it; in-flight values bounce off
+    the draining ring and must re-decide on the new one without loss,
+    duplication, or seq reordering.
+    """
+    base = run_case(0, profile="reconfig")
+    assert base.ok
+    schedule = Schedule([
+        ScheduleStep(0.25, "remap", group=1, ring=0),
+        ScheduleStep(0.6, "ring_split", ring=0),
+    ])
+    result = run_case(0, config=base.config, schedule=schedule)
+    assert result.ok, f"ring split under load broke an oracle: {result.message}"
+    assert result.events_checked > 100
+
+
 def test_crashed_proposer_must_not_burn_seqs():
     """The fuzzer's first real catch, pinned as its minimized schedule.
 

@@ -5,10 +5,17 @@ heartbeat silence; the lowest-indexed survivor promotes itself, includes
 a spare acceptor in the new ring, recovers accepted values with a
 range-Phase 1, and resumes service. No message may be lost, duplicated,
 or reordered across the reconfiguration.
+
+The second half covers planned elasticity through the
+``ReconfigManager``: live group remaps, ring splits and merges, online
+spare/learner add/remove, and the autoscaler policy loop.
 """
 
+import pytest
 
 from repro import MultiRingConfig, MultiRingPaxos
+from repro.core.reconfig import Autoscaler, AutoscalePolicy
+from repro.errors import ConfigurationError
 
 SIZE = 8192
 
@@ -138,6 +145,38 @@ def test_second_failover_uses_remaining_spare():
     assert mrp.rings[0].failover.takeovers == 2
 
 
+def test_takeover_races_concurrent_acceptor_crash():
+    """The coordinator and a mid-ring acceptor die together. The failover
+    must not wedge on the dead acceptor's missing promise: the degraded
+    quorum cap counts only reachable survivors, and the replacement ring
+    is chained from live nodes plus spares. Nothing may be lost."""
+    mrp = deploy(acceptors_per_ring=3, spares_per_ring=2)
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    for i in range(5):
+        p.multicast(0, f"pre-{i}", SIZE)
+    mrp.run(until=0.5)
+    assert len(log) == 5
+    # Simultaneous: no heartbeat round separates the two failures.
+    victim = mrp.rings[0].acceptors[1]
+    victim.crash()
+    victim.node.crash()
+    mrp.crash_coordinator(0)
+    for i in range(5):
+        p.multicast(0, f"mid-{i}", SIZE)
+    mrp.run(until=2.5)
+    for i in range(5):
+        p.multicast(0, f"post-{i}", SIZE)
+    mrp.run(until=4.0)
+    assert mrp.rings[0].failover.takeovers == 1
+    assert len(log) == 15
+    assert len(set(log)) == 15
+    assert [m for m in log if m.startswith("mid")] == [f"mid-{i}" for i in range(5)]
+    # The dead acceptor is out of the re-chained ring.
+    assert victim.node.name not in mrp.rings[0].coordinator.config.acceptors
+
+
 def test_no_false_takeover_while_coordinator_is_healthy():
     mrp = deploy()
     p = mrp.add_proposer()
@@ -148,3 +187,217 @@ def test_no_false_takeover_while_coordinator_is_healthy():
     mrp.run(until=2.0)  # idle for many suspect timeouts (heartbeats flow)
     assert mrp.rings[0].failover.takeovers == 0
     assert len(log) == 5
+
+
+# ---------------------------------------------------------------------------
+# Planned elasticity: the ReconfigManager / Autoscaler
+# ---------------------------------------------------------------------------
+def test_live_remap_delivers_everything_exactly_once():
+    """Move group 1 from ring 1 onto ring 0 while its proposer is still
+    multicasting. Values submitted before, during, and after the move all
+    deliver exactly once and in per-sender order; the group table flips
+    and the epoch advances."""
+    mrp = deploy(n_groups=2)
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append((g, v.payload)))
+    p = mrp.add_proposer()
+    for i in range(6):
+        p.multicast(i % 2, f"pre-{i}", SIZE)
+    mrp.run(until=0.5)
+    completed = []
+    mrp.reconfig.remap_group(1, 0, on_done=completed.append)
+    for i in range(6):  # submitted while the move is in flight (held/drained)
+        p.multicast(1, f"mid-{i}", SIZE)
+    mrp.run(until=2.0)
+    for i in range(6):
+        p.multicast(1, f"post-{i}", SIZE)
+    mrp.run(until=3.5)
+    assert completed and completed[0]["done"]
+    assert mrp.reconfig.epoch == 1
+    assert mrp.registry.ring_for(1) == 0
+    assert not mrp.reconfig.busy
+    payloads = [m for _, m in log]
+    assert len(payloads) == 18
+    assert len(set(payloads)) == 18
+    assert [m for m in payloads if m.startswith("mid")] == [f"mid-{i}" for i in range(6)]
+    assert [m for m in payloads if m.startswith("post")] == [f"post-{i}" for i in range(6)]
+
+
+def test_remap_validation_and_idempotence():
+    mrp = deploy(n_groups=2)
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.remap_group(9, 0)  # unknown group
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.remap_group(0, 9)  # unknown ring
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.merge_rings(0, 0)  # self-merge
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.merge_rings(0, 9)  # unknown target
+    # A remap onto the current ring completes synchronously, consumes no
+    # epoch, and leaves nothing queued.
+    completed = []
+    op = mrp.reconfig.remap_group(0, 0, on_done=completed.append)
+    assert op["done"] and completed == [op]
+    assert mrp.reconfig.epoch == 0
+    assert not mrp.reconfig.busy
+
+
+def test_merge_rings_retires_source_and_traffic_continues():
+    mrp = deploy(n_groups=2)
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    for i in range(4):
+        p.multicast(i % 2, f"pre-{i}", SIZE)
+    mrp.run(until=0.5)
+    mrp.reconfig.merge_rings(1, 0)
+    mrp.run(until=2.5)
+    assert mrp.rings[1].retired
+    assert mrp.registry.groups_on_ring(0) == [0, 1]
+    assert mrp.registry.groups_on_ring(1) == []
+    # The retired ring is no longer a legal remap destination.
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.remap_group(0, 1)
+    for i in range(4):
+        p.multicast(i % 2, f"post-{i}", SIZE)
+    mrp.run(until=4.0)
+    assert len(log) == 8 and len(set(log)) == 8
+
+
+def test_split_ring_rebalances_groups():
+    mrp = deploy(n_groups=2)
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    # A one-group ring cannot shed load by splitting.
+    assert mrp.reconfig.split_ring(0) is None
+    mrp.reconfig.merge_rings(1, 0)
+    mrp.run(until=2.0)
+    new_ring = mrp.reconfig.split_ring(0)
+    assert new_ring == 2  # fresh id past the retired ring 1
+    mrp.run(until=4.0)
+    assert mrp.registry.groups_on_ring(0) == [0]
+    assert mrp.registry.groups_on_ring(new_ring) == [1]
+    assert not mrp.rings[new_ring].retired
+    for i in range(6):
+        p.multicast(i % 2, f"m{i}", SIZE)
+    mrp.run(until=5.5)
+    assert sorted(log) == sorted(f"m{i}" for i in range(6))
+
+
+def test_add_and_remove_spare():
+    mrp = deploy()
+    pool = mrp.rings[0].failover.spare_nodes
+    assert len(pool) == 1  # the deployment's own spare
+    node = mrp.reconfig.add_spare(0)
+    assert node.name == "mr0-xspare0"
+    assert pool[-1] is node
+    # Decommission takes the tail: the newest spare goes first, the
+    # failover's head-of-pool first choice is preserved.
+    assert mrp.reconfig.remove_spare(0) is node
+    assert len(pool) == 1
+    assert mrp.reconfig.remove_spare(0).name == "mr0-spare0"
+    assert mrp.reconfig.remove_spare(0) is None
+
+
+def test_rotate_coordinator_replaces_ring_head():
+    mrp = deploy()
+    log = []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    p.multicast(0, "before", SIZE)
+    mrp.run(until=0.5)
+    old = mrp.rings[0].coordinator
+    mrp.reconfig.rotate_coordinator(0)
+    mrp.run(until=2.0)
+    assert mrp.rings[0].coordinator is not old
+    assert mrp.rings[0].failover.takeovers == 1
+    p.multicast(0, "after", SIZE)
+    mrp.run(until=3.0)
+    assert log == ["before", "after"]
+
+
+def test_rotate_coordinator_requires_failover():
+    mrp = deploy(auto_failover=False)
+    with pytest.raises(ConfigurationError):
+        mrp.reconfig.rotate_coordinator(0)
+
+
+def test_attach_learner_catches_up_decided_prefix():
+    mrp = deploy()
+    p = mrp.add_proposer()
+    for i in range(8):
+        p.multicast(0, f"old-{i}", SIZE)
+    mrp.run(until=0.5)
+    log = []
+    learner = mrp.reconfig.attach_learner([0], on_deliver=lambda g, v: log.append(v.payload))
+    mrp.run(until=2.0)
+    # The ranged catch-up replayed the prefix decided before it existed.
+    assert log == [f"old-{i}" for i in range(8)]
+    p.multicast(0, "live", SIZE)
+    mrp.run(until=3.0)
+    assert log[-1] == "live"
+    assert not learner.halted
+
+
+def test_detach_learner_stops_delivery():
+    mrp = deploy()
+    kept, gone = [], []
+    mrp.add_learner(groups=[0], on_deliver=lambda g, v: kept.append(v.payload))
+    detached = mrp.add_learner(groups=[0], on_deliver=lambda g, v: gone.append(v.payload))
+    p = mrp.add_proposer()
+    p.multicast(0, "a", SIZE)
+    mrp.run(until=0.5)
+    assert kept == ["a"] and gone == ["a"]
+    mrp.reconfig.detach_learner(detached)
+    assert detached not in mrp.learners
+    p.multicast(0, "b", SIZE)
+    mrp.run(until=1.5)
+    assert kept == ["a", "b"]
+    assert gone == ["a"]  # no deliveries after detach
+
+
+def test_autoscaler_splits_hot_ring():
+    """Both groups share one ring; under load the policy loop (with a
+    floor-zero CPU threshold so any work reads as hot) splits it and the
+    manager rebalances the groups onto the new ring."""
+    mrp = MultiRingPaxos(MultiRingConfig(
+        n_groups=2, n_rings=1, lambda_rate=2000.0, spares_per_ring=1,
+    ))
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    scaler = Autoscaler(mrp, AutoscalePolicy(
+        interval=0.1, cooldown=0.0, cpu_split_threshold=0.0, max_rings=4,
+    ))
+    scaler.start()
+    for i in range(60):
+        p.multicast(i % 2, f"m{i}", SIZE)
+    mrp.run(until=4.0)
+    scaler.stop()
+    assert scaler.splits.value >= 1
+    active = [rid for rid, h in mrp.rings.items() if not h.retired]
+    assert len(active) >= 2
+    assert mrp.registry.ring_for(0) != mrp.registry.ring_for(1)
+    assert len(log) == 60 and len(set(log)) == 60
+
+
+def test_autoscaler_merges_idle_rings():
+    mrp = MultiRingPaxos(MultiRingConfig(n_groups=2, lambda_rate=2000.0))
+    log = []
+    mrp.add_learner(groups=[0, 1], on_deliver=lambda g, v: log.append(v.payload))
+    p = mrp.add_proposer()
+    scaler = Autoscaler(mrp, AutoscalePolicy(
+        interval=0.1, cooldown=0.2, idle_cpu_threshold=1.0, min_rings=1,
+    ))
+    scaler.start()
+    mrp.run(until=3.0)  # idle: both coordinators far below the threshold
+    scaler.stop()
+    assert scaler.merges.value >= 1
+    active = [rid for rid, h in mrp.rings.items() if not h.retired]
+    assert len(active) == 1
+    assert mrp.registry.groups_on_ring(active[0]) == [0, 1]
+    for i in range(6):  # the folded deployment still serves both groups
+        p.multicast(i % 2, f"m{i}", SIZE)
+    mrp.run(until=4.5)
+    assert sorted(log) == sorted(f"m{i}" for i in range(6))

@@ -47,6 +47,45 @@ def test_registry_group_ids_sorted():
     assert reg.group_ids() == [1, 2, 3]
 
 
+def test_registry_remap_rebinds_group():
+    reg = GroupRegistry()
+    reg.add(0, 0)
+    reg.add(1, 1)
+    group = reg.remap(1, 0)
+    assert group.ring_id == 0
+    assert reg.ring_for(1) == 0
+    assert reg.groups_on_ring(0) == [0, 1]
+    assert reg.groups_on_ring(1) == []
+
+
+def test_registry_remap_unknown_group_rejected():
+    reg = GroupRegistry()
+    reg.add(0, 0)
+    with pytest.raises(ConfigurationError):
+        reg.remap(7, 0)
+
+
+def test_registry_remap_to_unknown_ring_rejected():
+    reg = GroupRegistry()
+    reg.add(0, 0)
+    with pytest.raises(ConfigurationError):
+        reg.remap(0, 9, known_rings={0, 1})
+    # ...and the binding is untouched by the failed remap.
+    assert reg.ring_for(0) == 0
+    # Without known_rings the table cannot validate; the caller
+    # (ReconfigManager) has already checked the ring exists.
+    assert reg.remap(0, 9).ring_id == 9
+
+
+def test_registry_remap_is_idempotent():
+    reg = GroupRegistry()
+    reg.add(0, 3)
+    before = reg.get(0)
+    after = reg.remap(0, 3, known_rings={3})
+    assert after is before  # no-op returns the existing binding
+    assert reg.ring_for(0) == 3
+
+
 # ---------------------------------------------------------------------------
 # DeterministicMerge helpers
 # ---------------------------------------------------------------------------
